@@ -1,0 +1,83 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the (reconstructed)
+// evaluation: it prints the rows as an aligned table and drops a CSV under
+// ./bench_results/ for plotting. Binaries exit non-zero if the experiment's
+// sanity conditions fail, so `for b in build/bench/*; do $b; done` doubles
+// as an end-to-end check.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/driver.hpp"
+#include "core/error_metrics.hpp"
+
+namespace sctm::bench {
+
+/// The six workload kernels at the standard evaluation size (16 cores).
+inline std::vector<fullsys::AppParams> standard_apps(int cores = 16,
+                                                     int lines = 16,
+                                                     int iters = 2) {
+  std::vector<fullsys::AppParams> out;
+  for (const auto& name : fullsys::app_names()) {
+    fullsys::AppParams p;
+    p.name = name;
+    p.cores = cores;
+    p.lines_per_core = lines;
+    p.iterations = iters;
+    out.push_back(p);
+  }
+  return out;
+}
+
+inline core::NetSpec enoc_spec(noc::Topology topo = noc::Topology::mesh(4, 4)) {
+  core::NetSpec s;
+  s.kind = core::NetKind::kEnoc;
+  s.topo = topo;
+  return s;
+}
+
+inline core::NetSpec onoc_token_spec(
+    noc::Topology topo = noc::Topology::mesh(4, 4)) {
+  core::NetSpec s;
+  s.kind = core::NetKind::kOnocToken;
+  s.topo = topo;
+  return s;
+}
+
+inline core::NetSpec onoc_setup_spec(
+    noc::Topology topo = noc::Topology::mesh(4, 4)) {
+  core::NetSpec s;
+  s.kind = core::NetKind::kOnocSetup;
+  s.topo = topo;
+  return s;
+}
+
+inline core::NetSpec ideal_spec(Cycle per_hop,
+                                noc::Topology topo = noc::Topology::mesh(4,
+                                                                         4)) {
+  core::NetSpec s;
+  s.kind = core::NetKind::kIdeal;
+  s.topo = topo;
+  s.ideal.per_hop_latency = per_hop;
+  return s;
+}
+
+/// Prints the table and writes bench_results/<slug>.csv.
+inline void emit(const Table& table, const std::string& slug) {
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::fflush(stdout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) table.write_csv("bench_results/" + slug + ".csv");
+}
+
+/// Exit helper: prints a verdict line and returns the process exit code.
+inline int verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "OK" : "FAIL", what.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace sctm::bench

@@ -1,0 +1,82 @@
+// R-F3: total simulation time per mode.
+//
+// The abstract's second claim: the self-correction trace model achieves its
+// precision "while not substantially extend[ing] the total simulation time"
+// relative to plain trace simulation — and both are far faster than
+// execution-driven full-system simulation. Wall-clock seconds on this host;
+// the paper-relevant quantity is the *ratio* structure.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace sctm;
+  using namespace sctm::bench;
+
+  Table t("R-F3: simulation wall time per mode (target: onoc token), "
+          "larger workloads");
+  t.set_header({"app", "exec (s)", "exec detailed (s)", "capture (s)",
+                "naive replay (s)", "sctm replay (s)", "sctm/naive",
+                "exec-det/sctm"});
+
+  double worst_ratio = 0;
+  double speedup_sum = 0;
+  int n = 0;
+  for (auto app : standard_apps(16, 32, 4)) {  // ~4x the standard size
+    const auto capture = core::run_execution(app, enoc_spec(), {});
+    const auto truth = core::run_execution(app, onoc_token_spec(), {});
+    // The same run with an instruction-interpreting front end (per-cycle
+    // core events): the cost profile of the paper's Simics/GEMS class.
+    fullsys::FullSysParams detailed_sys;
+    detailed_sys.core_detail = fullsys::CoreDetail::kPerCycle;
+    const auto truth_detailed =
+        core::run_execution(app, onoc_token_spec(), detailed_sys);
+
+    core::ReplayConfig naive_cfg;
+    naive_cfg.mode = core::ReplayMode::kNaive;
+    // Median of 3 for the fast replays to de-noise wall clock.
+    auto median3 = [&](const core::ReplayConfig& cfg) {
+      double w[3];
+      core::ReplayRun keep;
+      for (auto& x : w) {
+        keep = core::run_replay(capture.trace, onoc_token_spec(), cfg);
+        x = keep.wall_seconds;
+      }
+      std::sort(std::begin(w), std::end(w));
+      keep.wall_seconds = w[1];
+      return keep;
+    };
+    const auto naive = median3(naive_cfg);
+    const auto sctm = median3({});
+
+    const double ratio = sctm.wall_seconds / std::max(1e-9, naive.wall_seconds);
+    const double speedup =
+        truth_detailed.wall_seconds / std::max(1e-9, sctm.wall_seconds);
+    worst_ratio = std::max(worst_ratio, ratio);
+    speedup_sum += speedup;
+    ++n;
+    t.add_row({app.name, Table::fmt(truth.wall_seconds, 3),
+               Table::fmt(truth_detailed.wall_seconds, 3),
+               Table::fmt(capture.wall_seconds, 3),
+               Table::fmt(naive.wall_seconds, 4),
+               Table::fmt(sctm.wall_seconds, 4), Table::fmt(ratio, 2) + "x",
+               Table::fmt(speedup, 1) + "x"});
+  }
+  emit(t, "rf3_simtime");
+  std::printf("worst sctm/naive overhead: %.2fx; mean exec-detailed/sctm "
+              "speedup: %.1fx\n",
+              worst_ratio, speedup_sum / n);
+  std::puts("note: 'exec detailed' runs the identical schedule with a "
+            "per-cycle (instruction-interpreting) front end — the cost "
+            "profile of the paper's Simics/GEMS class. The timing results "
+            "are bit-identical to 'exec'; only the simulation cost differs. "
+            "The abstract's speed claim is the sctm/naive column.");
+
+  // The abstract's (testable) claim: self-correction does not substantially
+  // extend the total simulation time over plain trace simulation. The
+  // exec-vs-replay gap is informational: in this substrate the network model
+  // dominates both, whereas the paper's Simics front end dominated exec —
+  // the per-cycle column shows the knob but our kernels are memory-bound,
+  // so even instruction-granular interpretation stays cheap.
+  const bool ok = worst_ratio < 2.0;
+  return verdict(ok, "R-F3 sctm replay stays within 2x of naive trace "
+                     "replay");
+}

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot kernels:
+// event queue, RNG, cache lookups, router cycle under load, ONOC token
+// arbitration, and end-to-end replay cost per message. These guard the
+// performance that makes trace replay worthwhile in the first place.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/driver.hpp"
+#include "enoc/enoc_network.hpp"
+#include "fullsys/cache.hpp"
+#include "noc/traffic.hpp"
+#include "onoc/token.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace sctm;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  EventQueue q;
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      q.push(rng.next_below(1000), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_CacheLookup(benchmark::State& state) {
+  fullsys::Cache cache(64, 4);
+  Rng rng(3);
+  for (int i = 0; i < 256; ++i) {
+    cache.insert(rng.next_below(512), fullsys::LineState::kS);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(rng.next_below(512)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_TokenAcquire(benchmark::State& state) {
+  onoc::TokenRing ring(64, 1);
+  Cycle t = 0;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.acquire(static_cast<NodeId>(rng.next_below(64)), t, 4));
+    t += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenAcquire);
+
+void BM_EnocSaturatedCycle(benchmark::State& state) {
+  // Cost of one simulated network-cycle at moderate load, amortized:
+  // run a fixed traffic experiment per iteration.
+  for (auto _ : state) {
+    Simulator sim;
+    const auto topo = noc::Topology::mesh(4, 4);
+    enoc::EnocNetwork net(sim, "enoc", topo, enoc::EnocParams{});
+    noc::TrafficGenerator::Params tp;
+    tp.injection_rate = 0.15;
+    tp.warmup = 0;
+    tp.measure = 500;
+    tp.seed = 11;
+    noc::TrafficGenerator gen(sim, "gen", net, topo, tp);
+    gen.run_to_completion();
+    benchmark::DoNotOptimize(net.delivered_count());
+  }
+}
+BENCHMARK(BM_EnocSaturatedCycle)->Unit(benchmark::kMillisecond);
+
+struct ReplayFixture {
+  trace::Trace trace;
+  ReplayFixture() {
+    fullsys::AppParams app;
+    app.name = "fft";
+    app.cores = 16;
+    app.lines_per_core = 16;
+    app.iterations = 2;
+    core::NetSpec spec;
+    spec.kind = core::NetKind::kEnoc;
+    trace = core::run_execution(app, spec, {}).trace;
+  }
+};
+
+void BM_SctmReplayPerMessage(benchmark::State& state) {
+  static const ReplayFixture fx;
+  core::NetSpec target;
+  target.kind = core::NetKind::kOnocToken;
+  for (auto _ : state) {
+    const auto rep = core::run_replay(fx.trace, target, {});
+    benchmark::DoNotOptimize(rep.result.runtime);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.trace.records.size()));
+}
+BENCHMARK(BM_SctmReplayPerMessage)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveReplayPerMessage(benchmark::State& state) {
+  static const ReplayFixture fx;
+  core::NetSpec target;
+  target.kind = core::NetKind::kOnocToken;
+  core::ReplayConfig cfg;
+  cfg.mode = core::ReplayMode::kNaive;
+  for (auto _ : state) {
+    const auto rep = core::run_replay(fx.trace, target, cfg);
+    benchmark::DoNotOptimize(rep.result.runtime);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.trace.records.size()));
+}
+BENCHMARK(BM_NaiveReplayPerMessage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

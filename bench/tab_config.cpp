@@ -1,0 +1,96 @@
+// R-T1: simulated system configuration table.
+//
+// Prints the configuration of every modeled subsystem plus per-application
+// workload statistics (ops, memory accesses, captured messages) measured
+// with a quick execution-driven run.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace sctm;
+  using namespace sctm::bench;
+
+  const fullsys::FullSysParams sys;
+  Table cmp("R-T1a: CMP configuration (per node unless noted)");
+  cmp.set_header({"parameter", "value"});
+  cmp.add_row({"cores", "16 (4x4 tiles; 64-core runs use 8x8)"});
+  cmp.add_row({"L1 (private)", std::to_string(sys.l1_sets) + " sets x " +
+                                   std::to_string(sys.l1_ways) +
+                                   " ways x 64 B = " +
+                                   std::to_string(sys.l1_sets * sys.l1_ways *
+                                                  64 / 1024) +
+                                   " KiB"});
+  cmp.add_row({"L2 bank (shared, 1/node)",
+               std::to_string(sys.l2_sets) + " sets x " +
+                   std::to_string(sys.l2_ways) + " ways x 64 B = " +
+                   std::to_string(sys.l2_sets * sys.l2_ways * 64 / 1024) +
+                   " KiB"});
+  cmp.add_row({"coherence", "MSI, full-map in-bank directory, blocking"});
+  cmp.add_row({"L1 hit / miss-detect",
+               std::to_string(sys.l1_hit_latency) + " / " +
+                   std::to_string(sys.l1_miss_detect) + " cycles"});
+  cmp.add_row({"L2 / directory latency",
+               std::to_string(sys.l2_latency) + " / " +
+                   std::to_string(sys.dir_latency) + " cycles"});
+  cmp.add_row({"memory latency / gap", std::to_string(sys.mem_latency) +
+                                           " / " +
+                                           std::to_string(sys.mem_gap) +
+                                           " cycles"});
+  cmp.add_row({"memory controllers", "fabric corners"});
+  emit(cmp, "rt1a_cmp_config");
+
+  const enoc::EnocParams ep;
+  Table en("R-T1b: electrical baseline NoC");
+  en.set_header({"parameter", "value"});
+  en.add_row({"topology / routing", "4x4 mesh, XY dimension-ordered"});
+  en.add_row({"router", "3-stage VC wormhole (RC/VA/SA+ST), credit flow"});
+  en.add_row({"vnets x VCs x depth",
+              std::to_string(ep.vnets) + " x " + std::to_string(ep.vcs_per_vnet) +
+                  " x " + std::to_string(ep.buffer_depth) + " flits"});
+  en.add_row({"flit width", std::to_string(ep.flit_bytes) + " B"});
+  en.add_row({"link / credit latency", std::to_string(ep.link_latency) + " / " +
+                                           std::to_string(ep.credit_latency) +
+                                           " cycles"});
+  emit(en, "rt1b_enoc_config");
+
+  const onoc::OnocParams op;
+  Table on("R-T1c: optical NoC");
+  on.set_header({"parameter", "value"});
+  on.add_row({"data plane", "WDM MWSR crossbar, 1 rx channel/node"});
+  on.add_row({"wavelengths x rate",
+              std::to_string(op.wavelengths) + " x " +
+                  Table::fmt(op.gbps_per_wavelength, 0) + " Gb/s = " +
+                  Table::fmt(op.bytes_per_cycle(), 1) + " B/cycle/channel"});
+  on.add_row({"E/O + O/E + guard",
+              std::to_string(op.eo_latency) + " + " +
+                  std::to_string(op.oe_latency) + " + " +
+                  std::to_string(op.guard_cycles) + " cycles"});
+  on.add_row({"channel schemes",
+              "MWSR token ring (1 hop/cycle) | MWSR electrical path setup "
+              "(8 B ctrl) | SWMR per-source | shared pool"});
+  on.add_row({"die edge", Table::fmt(op.die_edge_cm, 1) + " cm"});
+  emit(on, "rt1c_onoc_config");
+
+  Table apps("R-T1d: workloads (16 cores, standard size)");
+  apps.set_header({"app", "pattern", "mem accesses", "messages", "runtime "
+                                                                 "(enoc cyc)"});
+  const char* patterns[] = {
+      "nearest-neighbor stencil", "butterfly all-to-all",
+      "panel broadcast (hotspot)", "all-to-all exchange",
+      "irregular shared-tree reads", "private streaming (memory-bound)",
+      "tree reduction + broadcast", "ring producer-consumer stages",
+      "GUPS-like random scatter"};
+  int i = 0;
+  bool ok = true;
+  for (const auto& app : standard_apps()) {
+    const auto streams = fullsys::build_app(app);
+    const auto exec = core::run_execution(app, enoc_spec(), {});
+    ok = ok && !exec.trace.records.empty();
+    apps.add_row({app.name, patterns[i++],
+                  Table::fmt(fullsys::count_accesses(streams)),
+                  Table::fmt(static_cast<std::uint64_t>(
+                      exec.trace.records.size())),
+                  Table::fmt(static_cast<std::uint64_t>(exec.runtime))});
+  }
+  emit(apps, "rt1d_workloads");
+  return verdict(ok, "R-T1 configuration tables");
+}

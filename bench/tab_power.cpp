@@ -1,0 +1,50 @@
+// R-T3: optical power and loss budget breakdown.
+//
+// For fabrics of 16 and 64 endpoints and 8..64 wavelengths: worst-case
+// optical path loss by component, required laser power per wavelength, total
+// electrical laser power, ring count and trimming power. Expected shape:
+// through-ring loss scales with nodes x wavelengths, so laser power grows
+// superlinearly with radix — the classic ONOC static-power wall.
+#include "bench/bench_util.hpp"
+
+#include "onoc/loss.hpp"
+
+int main() {
+  using namespace sctm;
+  using namespace sctm::bench;
+
+  Table t("R-T3: ONOC loss budget and static power");
+  t.set_header({"nodes", "lambdas", "loss total (dB)", "prop", "rings",
+                "laser/lambda (dBm)", "laser total (mW el.)", "ring count",
+                "trim (mW)"});
+
+  bool ok = true;
+  double p16 = 0, p64 = 0;
+  for (const int nodes : {16, 64}) {
+    for (const int lambdas : {8, 16, 32, 64}) {
+      onoc::LossBudgetInputs in;
+      in.nodes = nodes;
+      in.channels_per_node = nodes - 1;
+      in.wavelengths = lambdas;
+      const auto budget = onoc::compute_loss(in);
+      const auto laser = onoc::compute_laser(in);
+      t.add_row({Table::fmt(static_cast<std::int64_t>(nodes)),
+                 Table::fmt(static_cast<std::int64_t>(lambdas)),
+                 Table::fmt(budget.total_db(), 2),
+                 Table::fmt(budget.propagation_db, 2),
+                 Table::fmt(budget.through_rings_db, 2),
+                 Table::fmt(laser.per_wavelength_dbm, 1),
+                 Table::fmt(laser.total_electrical_mw, 1),
+                 Table::fmt(static_cast<std::int64_t>(laser.ring_count)),
+                 Table::fmt(laser.ring_heating_mw, 1)});
+      ok = ok && budget.total_db() > 0 && laser.total_electrical_mw > 0;
+      if (lambdas == 16) {
+        if (nodes == 16) p16 = laser.total_electrical_mw;
+        if (nodes == 64) p64 = laser.total_electrical_mw;
+      }
+    }
+  }
+  emit(t, "rt3_power");
+  ok = ok && p64 > 4.0 * p16;  // superlinear radix scaling
+  return verdict(ok, "R-T3 laser power scales superlinearly with radix");
+}

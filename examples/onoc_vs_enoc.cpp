@@ -1,0 +1,86 @@
+// Case-study example: run the same parallel applications on the electrical
+// baseline mesh and on both ONOC variants, execution-driven, and report
+// application runtime, packet latency and network energy side by side.
+//
+// This is the "simple case-study" of the paper's abstract in example form
+// (the full sweep lives in bench/tab_casestudy.cpp).
+//
+// Build & run:  ./build/examples/onoc_vs_enoc
+#include <cstdio>
+#include <memory>
+
+#include "common/table.hpp"
+#include "core/driver.hpp"
+#include "core/error_metrics.hpp"
+#include "enoc/power.hpp"
+#include "onoc/power.hpp"
+
+namespace {
+
+using namespace sctm;
+
+struct NetResult {
+  Cycle runtime;
+  double mean_latency;
+  double energy_uj;
+};
+
+NetResult run_on(const fullsys::AppParams& app, const core::NetSpec& spec) {
+  Simulator sim;
+  auto net = core::make_factory(spec)(sim);
+  fullsys::CmpSystem cmp(sim, "cmp", *net, spec.topo, {},
+                         fullsys::build_app(app));
+  const Cycle runtime = cmp.run_to_completion();
+
+  double energy_pj = 0;
+  if (spec.kind == core::NetKind::kEnoc) {
+    auto& e = static_cast<enoc::EnocNetwork&>(*net);
+    energy_pj = enoc::compute_enoc_energy(sim.stats(), e.name(),
+                                          e.topology().node_count(),
+                                          e.active_cycles(), {})
+                    .total_pj();
+  } else {
+    auto& o = static_cast<onoc::OnocNetwork&>(*net);
+    energy_pj = onoc::compute_onoc_energy(o, runtime, sim.stats()).total_pj();
+  }
+  return NetResult{runtime, net->latency_histogram().mean(), energy_pj * 1e-6};
+}
+
+}  // namespace
+
+int main() {
+  using namespace sctm;
+
+  Table table("case study: 16-core apps, electrical mesh vs optical crossbar");
+  table.set_header({"app", "network", "runtime (cyc)", "mean pkt lat",
+                    "net energy (uJ)", "speedup vs enoc"});
+
+  for (const char* name : {"fft", "jacobi", "sort"}) {
+    fullsys::AppParams app;
+    app.name = name;
+    app.cores = 16;
+    app.lines_per_core = 16;
+    app.iterations = 2;
+
+    core::NetSpec enoc;
+    enoc.kind = core::NetKind::kEnoc;
+    core::NetSpec token;
+    token.kind = core::NetKind::kOnocToken;
+    core::NetSpec setup;
+    setup.kind = core::NetKind::kOnocSetup;
+
+    const auto base = run_on(app, enoc);
+    for (const auto& [spec, label] :
+         {std::pair{enoc, "enoc-mesh"}, std::pair{token, "onoc-token"},
+          std::pair{setup, "onoc-setup"}}) {
+      const auto r = run_on(app, spec);
+      table.add_row({name, label, Table::fmt(static_cast<std::uint64_t>(r.runtime)),
+                     Table::fmt(r.mean_latency, 1), Table::fmt(r.energy_uj, 2),
+                     Table::fmt(static_cast<double>(base.runtime) /
+                                    static_cast<double>(r.runtime),
+                                2) + "x"});
+    }
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  return 0;
+}

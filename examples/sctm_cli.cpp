@@ -1,0 +1,242 @@
+// sctm_cli — command-line front end for the capture/replay workflow.
+//
+//   sctm_cli capture  --app fft --net enoc --out /tmp/t.bin [--cores 16]
+//                     [--lines 16] [--iters 2] [--mesh 4x4]
+//   sctm_cli replay   --trace /tmp/t.bin --net onoc-token [--mode sctm]
+//                     [--window W] [--iters-max 8] [--csv out.csv]
+//   sctm_cli inspect  --trace /tmp/t.bin [--text]
+//   sctm_cli exec     --app fft --net onoc-setup [...]   (execution-driven)
+//
+// Networks: ideal | enoc | onoc-token | onoc-setup | hybrid.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/driver.hpp"
+#include "core/error_metrics.hpp"
+#include "trace/dependency_graph.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace sctm;
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "error: %s\n", why);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sctm_cli capture --app <name> --net <kind> --out <file> "
+      "[--cores N] [--lines N] [--iters N] [--mesh WxH] [--seed S]\n"
+      "  sctm_cli replay  --trace <file> --net <kind> [--mode naive|sctm] "
+      "[--window W] [--iters-max N] [--csv <file>] [--mesh WxH]\n"
+      "  sctm_cli inspect --trace <file> [--text]\n"
+      "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
+      "[--iters N] [--mesh WxH] [--stats <file>]\n"
+      "networks: ideal enoc onoc-token onoc-setup hybrid\n"
+      "apps: jacobi fft lu sort barnes stream\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> out;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage(("unexpected token " + key).c_str());
+    key = key.substr(2);
+    if (key == "text") {  // boolean flag
+      out[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+    out[key] = argv[++i];
+  }
+  return out;
+}
+
+core::NetKind net_kind(const std::string& s) {
+  if (s == "ideal") return core::NetKind::kIdeal;
+  if (s == "enoc") return core::NetKind::kEnoc;
+  if (s == "onoc-token") return core::NetKind::kOnocToken;
+  if (s == "onoc-setup") return core::NetKind::kOnocSetup;
+  if (s == "hybrid") return core::NetKind::kHybrid;
+  usage(("unknown network " + s).c_str());
+}
+
+noc::Topology parse_mesh(const std::string& s) {
+  const auto x = s.find('x');
+  if (x == std::string::npos) usage("--mesh expects WxH");
+  return noc::Topology::mesh(std::stoi(s.substr(0, x)),
+                             std::stoi(s.substr(x + 1)));
+}
+
+core::NetSpec spec_from(const std::map<std::string, std::string>& f) {
+  core::NetSpec spec;
+  const auto net = f.find("net");
+  if (net == f.end()) usage("--net required");
+  spec.kind = net_kind(net->second);
+  if (const auto m = f.find("mesh"); m != f.end()) {
+    spec.topo = parse_mesh(m->second);
+  }
+  return spec;
+}
+
+fullsys::AppParams app_from(const std::map<std::string, std::string>& f,
+                            const core::NetSpec& spec) {
+  fullsys::AppParams app;
+  const auto a = f.find("app");
+  if (a == f.end()) usage("--app required");
+  app.name = a->second;
+  app.cores = spec.topo.node_count();
+  if (const auto it = f.find("cores"); it != f.end()) {
+    app.cores = std::stoi(it->second);
+  }
+  if (const auto it = f.find("lines"); it != f.end()) {
+    app.lines_per_core = std::stoi(it->second);
+  } else {
+    app.lines_per_core = 16;
+  }
+  if (const auto it = f.find("iters"); it != f.end()) {
+    app.iterations = std::stoi(it->second);
+  } else {
+    app.iterations = 2;
+  }
+  if (const auto it = f.find("seed"); it != f.end()) {
+    app.seed = std::stoull(it->second);
+  }
+  return app;
+}
+
+int cmd_capture(const std::map<std::string, std::string>& f) {
+  const auto spec = spec_from(f);
+  const auto app = app_from(f, spec);
+  const auto out = f.find("out");
+  if (out == f.end()) usage("--out required");
+  const auto exec = core::run_execution(app, spec, {});
+  trace::write_binary_file(exec.trace, out->second);
+  std::printf("captured %zu messages (%s on %s), runtime %llu cycles, "
+              "%.3f s wall -> %s\n",
+              exec.trace.records.size(), app.name.c_str(),
+              spec.describe().c_str(),
+              static_cast<unsigned long long>(exec.runtime),
+              exec.wall_seconds, out->second.c_str());
+  return 0;
+}
+
+int cmd_replay(const std::map<std::string, std::string>& f) {
+  const auto tr = f.find("trace");
+  if (tr == f.end()) usage("--trace required");
+  const auto loaded = trace::read_binary_file(tr->second);
+  auto spec = spec_from(f);
+  // Default the fabric to the trace's node count when not overridden.
+  if (f.find("mesh") == f.end() && loaded.nodes == 16) {
+    spec.topo = noc::Topology::mesh(4, 4);
+  } else if (f.find("mesh") == f.end() && loaded.nodes == 64) {
+    spec.topo = noc::Topology::mesh(8, 8);
+  }
+
+  core::ReplayConfig cfg;
+  if (const auto m = f.find("mode"); m != f.end()) {
+    if (m->second == "naive") cfg.mode = core::ReplayMode::kNaive;
+    else if (m->second == "sctm") cfg.mode = core::ReplayMode::kSelfCorrecting;
+    else usage("--mode must be naive or sctm");
+  }
+  if (const auto w = f.find("window"); w != f.end()) {
+    cfg.dependency_window = static_cast<std::uint32_t>(std::stoul(w->second));
+  }
+  if (const auto it = f.find("iters-max"); it != f.end()) {
+    cfg.max_iterations = std::stoi(it->second);
+  }
+
+  const auto rep = core::run_replay(loaded, spec, cfg);
+  const auto h = rep.result.latency_histogram();
+  std::printf("replayed %zu messages on %s (%s): runtime %llu cycles, "
+              "latency mean %.1f p50 %llu p99 %llu, %d iteration(s), "
+              "%.4f s wall\n",
+              loaded.records.size(), spec.describe().c_str(),
+              core::to_string(cfg.mode),
+              static_cast<unsigned long long>(rep.result.runtime), h.mean(),
+              static_cast<unsigned long long>(h.percentile(0.5)),
+              static_cast<unsigned long long>(h.percentile(0.99)),
+              rep.result.iterations, rep.wall_seconds);
+  if (const auto csv = f.find("csv"); csv != f.end()) {
+    Table t("replay");
+    t.set_header({"id", "inject", "arrive", "latency"});
+    for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+      t.add_row({Table::fmt(loaded.records[i].id),
+                 Table::fmt(rep.result.inject_time[i]),
+                 Table::fmt(rep.result.arrive_time[i]),
+                 Table::fmt(rep.result.arrive_time[i] -
+                            rep.result.inject_time[i])});
+    }
+    t.write_csv(csv->second);
+    std::printf("per-message csv -> %s\n", csv->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(const std::map<std::string, std::string>& f) {
+  const auto tr = f.find("trace");
+  if (tr == f.end()) usage("--trace required");
+  const auto loaded = trace::read_binary_file(tr->second);
+  const trace::DependencyGraph graph(loaded);
+  const auto s = core::summarize(loaded);
+  std::printf("app=%s capture-net='%s' nodes=%d seed=%llu\n",
+              loaded.app.c_str(), loaded.capture_network.c_str(), loaded.nodes,
+              static_cast<unsigned long long>(loaded.seed));
+  std::printf("records=%zu runtime=%llu latency mean=%.1f p99=%llu\n",
+              loaded.records.size(),
+              static_cast<unsigned long long>(loaded.capture_runtime),
+              s.mean_latency, static_cast<unsigned long long>(s.p99_latency));
+  std::printf("deps/record=%.2f roots=%zu critical-path=%zu records\n",
+              graph.mean_deps(), graph.roots().size(),
+              graph.critical_path_length());
+  if (f.count("text")) std::fputs(trace::to_text(loaded).c_str(), stdout);
+  return 0;
+}
+
+int cmd_exec(const std::map<std::string, std::string>& f) {
+  const auto spec = spec_from(f);
+  const auto app = app_from(f, spec);
+  const auto exec = core::run_execution(app, spec, {});
+  const auto s = core::summarize(exec.trace);
+  std::printf("%s on %s: runtime %llu cycles, %zu messages, latency mean "
+              "%.1f p99 %llu, %.3f s wall\n",
+              app.name.c_str(), spec.describe().c_str(),
+              static_cast<unsigned long long>(exec.runtime),
+              exec.trace.records.size(), s.mean_latency,
+              static_cast<unsigned long long>(s.p99_latency),
+              exec.wall_seconds);
+  if (const auto it = f.find("stats"); it != f.end()) {
+    std::FILE* out = std::fopen(it->second.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    std::fputs(exec.stats_report.c_str(), out);
+    std::fclose(out);
+    std::printf("full stats dump -> %s\n", it->second.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "capture") return cmd_capture(flags);
+    if (cmd == "replay") return cmd_replay(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
+    if (cmd == "exec") return cmd_exec(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown subcommand " + cmd).c_str());
+}

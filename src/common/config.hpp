@@ -1,0 +1,70 @@
+// Flat key-value configuration store.
+//
+// All simulator parameters flow through a Config so that experiments are
+// reproducible from a single text blob. Keys are dotted paths
+// ("enoc.vc_count"), values are typed on read. Unknown keys are an error on
+// read unless a default is supplied; reads are recorded so a run can dump the
+// exact configuration it used (consumed_dump), which the bench harness prints
+// for table R-T1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sctm {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines. '#' starts a comment; blank lines ignored.
+  /// Later assignments override earlier ones. Throws std::runtime_error on
+  /// malformed lines.
+  static Config from_string(std::string_view text);
+
+  /// Loads from a file; throws std::runtime_error when unreadable.
+  static Config from_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+  void set_int(std::string key, std::int64_t value);
+  void set_double(std::string key, double value);
+  void set_bool(std::string key, bool value);
+
+  bool contains(std::string_view key) const;
+
+  /// Typed getters. The no-default overloads throw std::runtime_error when
+  /// the key is absent; all throw when the value fails to parse.
+  std::string get_string(std::string_view key) const;
+  std::string get_string(std::string_view key, std::string_view def) const;
+  std::int64_t get_int(std::string_view key) const;
+  std::int64_t get_int(std::string_view key, std::int64_t def) const;
+  double get_double(std::string_view key) const;
+  double get_double(std::string_view key, double def) const;
+  bool get_bool(std::string_view key) const;
+  bool get_bool(std::string_view key, bool def) const;
+
+  /// Merges `other` on top of this config (other wins on conflicts).
+  void merge(const Config& other);
+
+  /// All keys in sorted order.
+  std::vector<std::string> keys() const;
+
+  /// "key = value" lines for every key that has been *read* so far, sorted.
+  std::string consumed_dump() const;
+
+  /// "key = value" lines for every key, sorted.
+  std::string dump() const;
+
+ private:
+  std::optional<std::string> lookup(std::string_view key) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  mutable std::set<std::string, std::less<>> consumed_;
+};
+
+}  // namespace sctm

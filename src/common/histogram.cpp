@@ -1,0 +1,85 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sctm {
+
+Histogram::Histogram(std::uint64_t dense_limit) : dense_limit_(dense_limit) {}
+
+void Histogram::add(std::uint64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_lo_ += value;
+  if (value < dense_limit_) {
+    if (dense_.size() <= value) dense_.resize(value + 1, 0);
+    ++dense_[value];
+  } else {
+    ++overflow_[value];
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::uint64_t v = 0; v < other.dense_.size(); ++v) {
+    for (std::uint64_t i = 0; i < other.dense_[v]; ++i) add(v);
+  }
+  for (const auto& [v, n] : other.overflow_) {
+    for (std::uint64_t i = 0; i < n; ++i) add(v);
+  }
+}
+
+void Histogram::reset() {
+  dense_.clear();
+  overflow_.clear();
+  count_ = sum_lo_ = min_ = max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_lo_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+std::uint64_t Histogram::min() const { return count_ ? min_ : 0; }
+std::uint64_t Histogram::max() const { return count_ ? max_ : 0; }
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; ceil(q * count) with a floor of 1.
+  const double exact = q * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+
+  std::uint64_t seen = 0;
+  for (std::uint64_t v = 0; v < dense_.size(); ++v) {
+    seen += dense_[v];
+    if (seen >= rank) return v;
+  }
+  for (const auto& [v, n] : overflow_) {
+    seen += n;
+    if (seen >= rank) return v;
+  }
+  return max_;
+}
+
+std::uint64_t Histogram::count_at(std::uint64_t value) const {
+  if (value < dense_.size()) return dense_[value];
+  const auto it = overflow_.find(value);
+  return it == overflow_.end() ? 0 : it->second;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream ss;
+  ss << "n=" << count_ << " mean=" << mean() << " p50=" << percentile(0.5)
+     << " p95=" << percentile(0.95) << " p99=" << percentile(0.99)
+     << " max=" << max();
+  return ss.str();
+}
+
+}  // namespace sctm

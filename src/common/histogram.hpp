@@ -1,0 +1,51 @@
+// Latency histogram with exact percentiles.
+//
+// Packet latencies are small integers (cycles), so we keep exact counts in a
+// growable dense array up to a cap and a sparse overflow map beyond it. This
+// gives exact p50/p95/p99 — important because the accuracy experiments
+// (R-F1/R-F2) compare tail latencies between simulation modes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sctm {
+
+class Histogram {
+ public:
+  /// `dense_limit` bounds the dense region; samples >= limit go to the sparse
+  /// overflow map (still exact, just slower).
+  explicit Histogram(std::uint64_t dense_limit = 4096);
+
+  void add(std::uint64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+
+  /// Exact percentile: smallest value v such that at least q*count samples
+  /// are <= v. q in [0,1]; q=0.5 is the median. Returns 0 on empty.
+  std::uint64_t percentile(double q) const;
+
+  /// Count of samples exactly equal to `value`.
+  std::uint64_t count_at(std::uint64_t value) const;
+
+  /// One-line summary "n=... mean=... p50=... p95=... p99=... max=...".
+  std::string summary() const;
+
+ private:
+  std::uint64_t dense_limit_;
+  std::vector<std::uint64_t> dense_;
+  std::map<std::uint64_t, std::uint64_t> overflow_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_lo_ = 0;  // running sum (64-bit is ample for our scales)
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sctm

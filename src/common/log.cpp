@@ -1,0 +1,45 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sctm::log {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::uint64_t> g_warnings{0};
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+bool is_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >= static_cast<int>(level());
+}
+
+void write(LogLevel lvl, std::string_view module, std::string_view msg) {
+  if (static_cast<int>(lvl) >= static_cast<int>(LogLevel::kWarn)) {
+    g_warnings.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(lvl),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+std::uint64_t warning_count() { return g_warnings.load(std::memory_order_relaxed); }
+
+}  // namespace sctm::log

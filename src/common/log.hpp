@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first: logging defaults to warnings-and-errors
+// on stderr and is globally adjustable. Hot paths guard with is_enabled() so
+// formatting cost is only paid when a sink will consume the line.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sctm {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log {
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(LogLevel level);
+LogLevel level();
+
+/// True when `lvl` would currently be emitted.
+bool is_enabled(LogLevel lvl);
+
+/// Emits one line (module, level prefix, message) to stderr.
+void write(LogLevel lvl, std::string_view module, std::string_view msg);
+
+/// Number of lines emitted at kWarn or above since process start; tests use
+/// this to assert that a scenario is warning-free.
+std::uint64_t warning_count();
+
+}  // namespace log
+
+/// Stream-style helper: SCTM_LOG(kDebug, "router") << "x=" << x;
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view module) : lvl_(lvl), module_(module) {}
+  ~LogLine() {
+    if (log::is_enabled(lvl_)) log::write(lvl_, module_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (log::is_enabled(lvl_)) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string module_;
+  std::ostringstream os_;
+};
+
+#define SCTM_LOG(lvl, module) ::sctm::LogLine(::sctm::LogLevel::lvl, module)
+
+}  // namespace sctm

@@ -1,0 +1,24 @@
+// Minimal task parallelism for experiment sweeps.
+//
+// Individual simulations are single-threaded and deterministic; sweeps over
+// independent configurations (the bench harness, parameter studies) are
+// embarrassingly parallel. parallel_for runs fn(i) for i in [0, n) over a
+// worker pool with an atomic work counter; the first exception thrown by any
+// task is rethrown on the caller after all workers join, and determinism is
+// preserved as long as tasks only touch disjoint state (each task owns its
+// own Simulator).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace sctm {
+
+/// Number of workers parallel_for uses for `threads == 0` (hardware
+/// concurrency, at least 1).
+unsigned default_parallelism();
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace sctm

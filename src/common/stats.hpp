@@ -1,0 +1,71 @@
+// Streaming statistics and a named-stat registry.
+//
+// Components register counters and accumulators under dotted names
+// ("enoc.router.3.flits_routed"); the registry snapshots into report tables.
+// Accumulator uses Welford's algorithm so variance is numerically stable over
+// billions of samples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sctm {
+
+/// Streaming mean/variance/min/max over double samples.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry of named counters and accumulators. Not thread-safe by design:
+/// the simulation kernel is single-threaded; benches aggregate across runs by
+/// snapshotting.
+class StatRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it at zero.
+  std::uint64_t& counter(std::string_view name);
+
+  /// Returns the accumulator registered under `name`, creating it empty.
+  Accumulator& accumulator(std::string_view name);
+
+  bool has_counter(std::string_view name) const;
+  bool has_accumulator(std::string_view name) const;
+
+  /// Value of a counter; 0 when absent.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// All registered names (counters then accumulators), sorted.
+  std::vector<std::string> names() const;
+
+  /// Human-readable dump, one stat per line, sorted by name.
+  std::string report() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Accumulator, std::less<>> accumulators_;
+};
+
+}  // namespace sctm

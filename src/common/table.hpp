@@ -1,0 +1,50 @@
+// Result-table formatting for the bench harness.
+//
+// Every bench binary emits the rows a paper table/figure would contain, in
+// two renderings: an aligned ASCII table for the terminal and CSV for
+// downstream plotting. Cells are strings; numeric helpers format with fixed
+// precision so tables diff cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sctm {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Sets the column headers; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Row-building helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+  static std::string pct(double fraction, int precision = 1);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Aligned, boxed ASCII rendering.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our cells; commas are asserted
+  /// absent in debug builds).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sctm

@@ -1,0 +1,15 @@
+#include "common/units.hpp"
+
+#include <cmath>
+
+namespace sctm::units {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+}  // namespace sctm::units

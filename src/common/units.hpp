@@ -1,0 +1,60 @@
+// Fundamental scalar types and unit helpers shared by every sctm library.
+//
+// The simulator is cycle-accurate: all timing is expressed in cycles of the
+// network clock and converted to wall time only at reporting boundaries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sctm {
+
+/// Simulated time in clock cycles of the reference (network) clock.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no time" / "not yet scheduled".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Identifies a network endpoint (core tile, cache bank, memory controller).
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Globally unique id of a message within one simulation run.
+using MsgId = std::uint64_t;
+inline constexpr MsgId kInvalidMsg = std::numeric_limits<MsgId>::max();
+
+/// Physical-unit helpers. The device models (src/onoc) work in these units.
+namespace units {
+
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+/// Converts a cycle count to seconds for a clock of `freq_hz`.
+constexpr double cycles_to_seconds(Cycle c, double freq_hz) {
+  return static_cast<double>(c) / freq_hz;
+}
+
+/// Converts seconds to whole cycles (rounding up: an event that takes any
+/// fraction of a cycle occupies the full cycle).
+constexpr Cycle seconds_to_cycles(double s, double freq_hz) {
+  const double c = s * freq_hz;
+  const auto floor_c = static_cast<Cycle>(c);
+  return (static_cast<double>(floor_c) < c) ? floor_c + 1 : floor_c;
+}
+
+/// dB <-> linear power ratio conversions used by the optical loss budget.
+double db_to_linear(double db);
+double linear_to_db(double ratio);
+
+/// Converts an optical power in milliwatts to dBm and back.
+double mw_to_dbm(double mw);
+double dbm_to_mw(double dbm);
+
+}  // namespace units
+}  // namespace sctm

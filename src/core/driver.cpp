@@ -1,0 +1,104 @@
+#include "core/driver.hpp"
+
+#include <chrono>
+
+#include "trace/capture.hpp"
+
+namespace sctm::core {
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& t0) {
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace
+
+const char* to_string(NetKind k) {
+  switch (k) {
+    case NetKind::kIdeal: return "ideal";
+    case NetKind::kEnoc: return "enoc";
+    case NetKind::kOnocToken: return "onoc-token";
+    case NetKind::kOnocSetup: return "onoc-setup";
+    case NetKind::kOnocSwmr: return "onoc-swmr";
+    case NetKind::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::string NetSpec::describe() const {
+  return std::string(to_string(kind)) + " " + topo.describe();
+}
+
+NetworkFactory make_factory(const NetSpec& spec) {
+  switch (spec.kind) {
+    case NetKind::kIdeal:
+      return [spec](Simulator& sim) -> std::unique_ptr<noc::Network> {
+        return std::make_unique<noc::IdealNetwork>(sim, "net", spec.topo,
+                                                   spec.ideal);
+      };
+    case NetKind::kEnoc:
+      return [spec](Simulator& sim) -> std::unique_ptr<noc::Network> {
+        return std::make_unique<enoc::EnocNetwork>(sim, "net", spec.topo,
+                                                   spec.enoc);
+      };
+    case NetKind::kOnocToken: {
+      NetSpec s = spec;
+      s.onoc.arbitration = onoc::Arbitration::kTokenRing;
+      return [s](Simulator& sim) -> std::unique_ptr<noc::Network> {
+        return std::make_unique<onoc::OnocNetwork>(sim, "net", s.topo, s.onoc);
+      };
+    }
+    case NetKind::kOnocSetup: {
+      NetSpec s = spec;
+      s.onoc.arbitration = onoc::Arbitration::kPathSetup;
+      return [s](Simulator& sim) -> std::unique_ptr<noc::Network> {
+        return std::make_unique<onoc::OnocNetwork>(sim, "net", s.topo, s.onoc);
+      };
+    }
+    case NetKind::kOnocSwmr: {
+      NetSpec s = spec;
+      s.onoc.arbitration = onoc::Arbitration::kSwmr;
+      return [s](Simulator& sim) -> std::unique_ptr<noc::Network> {
+        return std::make_unique<onoc::OnocNetwork>(sim, "net", s.topo, s.onoc);
+      };
+    }
+    case NetKind::kHybrid:
+      return [spec](Simulator& sim) -> std::unique_ptr<noc::Network> {
+        return std::make_unique<onoc::HybridNetwork>(sim, "net", spec.topo,
+                                                     spec.hybrid);
+      };
+  }
+  throw std::invalid_argument("make_factory: bad NetKind");
+}
+
+ExecutionRun run_execution(const fullsys::AppParams& app, const NetSpec& net,
+                           const fullsys::FullSysParams& sys) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Simulator sim;
+  auto network = make_factory(net)(sim);
+  fullsys::CmpSystem cmp(sim, "cmp", *network, net.topo, sys,
+                         fullsys::build_app(app));
+  trace::TraceCapture capture(cmp, app.name, net.describe(),
+                              net.topo.node_count());
+  ExecutionRun out;
+  out.runtime = cmp.run_to_completion();
+  out.trace = std::move(capture).finalize(out.runtime);
+  out.trace.seed = app.seed;
+  out.events = sim.events_executed();
+  out.stats_report = sim.stats().report();
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+ReplayRun run_replay(const trace::Trace& trace, const NetSpec& net,
+                     const ReplayConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ReplayRun out;
+  out.result = replay(trace, make_factory(net), config);
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace sctm::core

@@ -1,0 +1,63 @@
+// Experiment driver: the one-stop API the examples and benches use.
+//
+// Wraps the three simulation modes the paper compares:
+//   execution-driven  - CmpSystem over a real network (ground truth, slow)
+//   naive trace       - capture once, replay frozen timestamps (fast, wrong)
+//   self-correcting   - capture once, dependency-corrected replay
+// and builds networks from a small declarative spec so a bench can sweep
+// network kinds/parameters in a few lines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/replay.hpp"
+#include "enoc/enoc_network.hpp"
+#include "fullsys/cmp_system.hpp"
+#include "onoc/hybrid_network.hpp"
+#include "onoc/onoc_network.hpp"
+#include "trace/record.hpp"
+
+namespace sctm::core {
+
+enum class NetKind { kIdeal, kEnoc, kOnocToken, kOnocSetup, kOnocSwmr, kHybrid };
+
+const char* to_string(NetKind k);
+
+struct NetSpec {
+  NetKind kind = NetKind::kEnoc;
+  noc::Topology topo = noc::Topology::mesh(4, 4);
+  noc::IdealNetwork::Params ideal{};
+  enoc::EnocParams enoc{};
+  onoc::OnocParams onoc{};
+  onoc::HybridParams hybrid{};
+
+  std::string describe() const;
+};
+
+/// Factory suitable for replay(); also used internally for execution runs.
+NetworkFactory make_factory(const NetSpec& spec);
+
+struct ExecutionRun {
+  trace::Trace trace;     // capture of the run (also the ground-truth record)
+  Cycle runtime = 0;      // application runtime in cycles
+  double wall_seconds = 0;
+  std::uint64_t events = 0;  // kernel events executed
+  /// Full stat-registry dump of the run (gem5-style stats file content).
+  std::string stats_report;
+};
+
+/// Runs the application execution-driven on `net`, capturing a trace.
+ExecutionRun run_execution(const fullsys::AppParams& app, const NetSpec& net,
+                           const fullsys::FullSysParams& sys);
+
+struct ReplayRun {
+  ReplayResult result;
+  double wall_seconds = 0;
+};
+
+/// Replays `trace` over a fresh network built from `net`.
+ReplayRun run_replay(const trace::Trace& trace, const NetSpec& net,
+                     const ReplayConfig& config);
+
+}  // namespace sctm::core

@@ -1,0 +1,38 @@
+// Config-driven experiments: build workloads, networks and replay settings
+// from a flat Config so whole studies are reproducible from one text file.
+//
+// Key groups:
+//   app.name / app.cores / app.lines_per_core / app.iterations / app.seed
+//   capture.kind, target.kind   (ideal|enoc|onoc-token|onoc-setup|
+//                                onoc-swmr|hybrid)
+//   net.mesh_width / net.mesh_height  (fabric, shared by both networks)
+//   enoc.* / onoc.* / fullsys.*       (forwarded to the module parsers)
+//   replay.mode (naive|sctm), replay.window, replay.max_iterations
+//   experiment.mode = exec | replay | accuracy
+#pragma once
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/driver.hpp"
+#include "core/error_metrics.hpp"
+
+namespace sctm::core {
+
+/// Parses a network kind name; throws std::invalid_argument on junk.
+NetKind net_kind_from(const std::string& name);
+
+/// NetSpec from config: `<which>.kind` selects the network, the fabric comes
+/// from net.mesh_width/height, and module parameters from enoc.*/onoc.*.
+NetSpec netspec_from_config(const Config& cfg, const std::string& which);
+
+fullsys::AppParams app_from_config(const Config& cfg);
+ReplayConfig replay_from_config(const Config& cfg);
+
+/// Runs the experiment the config describes and returns the result rows:
+///   exec     - execution-driven run on `target`
+///   replay   - capture on `capture`, replay on `target`
+///   accuracy - capture on `capture`, naive+sctm replay on `target`,
+///              execution-driven truth on `target`, error report
+Table run_experiment(const Config& cfg);
+
+}  // namespace sctm::core

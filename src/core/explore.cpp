@@ -1,0 +1,34 @@
+#include "core/explore.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
+namespace sctm::core {
+
+std::vector<ExploreResult> explore(const trace::Trace& trace,
+                                   const std::vector<Candidate>& candidates,
+                                   const ReplayConfig& config,
+                                   unsigned threads) {
+  std::vector<ExploreResult> out(candidates.size());
+  parallel_for(
+      candidates.size(),
+      [&](std::size_t i) {
+        const auto rep = run_replay(trace, candidates[i].spec, config);
+        const auto h = rep.result.latency_histogram();
+        out[i] = ExploreResult{candidates[i].name,
+                               rep.result.runtime,
+                               h.mean(),
+                               h.percentile(0.99),
+                               rep.result.iterations,
+                               rep.wall_seconds};
+      },
+      threads);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.runtime != b.runtime) return a.runtime < b.runtime;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace sctm::core

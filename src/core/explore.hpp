@@ -1,0 +1,41 @@
+// Design-space exploration over a single captured trace.
+//
+// The workflow the trace pipeline exists for: capture once on any network,
+// then evaluate many candidate network designs at replay speed — in
+// parallel, since each candidate replays in its own Simulator. Results come
+// back ranked by predicted application-visible runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/replay.hpp"
+#include "core/driver.hpp"
+#include "trace/record.hpp"
+
+namespace sctm::core {
+
+struct Candidate {
+  std::string name;
+  NetSpec spec;
+};
+
+struct ExploreResult {
+  std::string name;
+  Cycle runtime = 0;
+  double mean_latency = 0;
+  Cycle p99_latency = 0;
+  int iterations = 1;
+  double wall_seconds = 0;
+};
+
+/// Replays `trace` over every candidate (parallel across `threads` workers;
+/// 0 = hardware concurrency) and returns results sorted by runtime
+/// ascending (ties by name). Deterministic: thread scheduling cannot change
+/// any result, only the wall clock.
+std::vector<ExploreResult> explore(const trace::Trace& trace,
+                                   const std::vector<Candidate>& candidates,
+                                   const ReplayConfig& config = {},
+                                   unsigned threads = 0);
+
+}  // namespace sctm::core

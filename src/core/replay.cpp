@@ -1,0 +1,224 @@
+#include "core/replay.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <stdexcept>
+
+namespace sctm::core {
+
+const char* to_string(ReplayMode m) {
+  switch (m) {
+    case ReplayMode::kNaive: return "naive";
+    case ReplayMode::kSelfCorrecting: return "self-correcting";
+  }
+  return "?";
+}
+
+Histogram ReplayResult::latency_histogram() const {
+  Histogram h;
+  for (std::size_t i = 0; i < inject_time.size(); ++i) {
+    h.add(arrive_time[i] - inject_time[i]);
+  }
+  return h;
+}
+
+namespace {
+
+/// Per-record dependencies enforced online: the `window` smallest-slack
+/// dependencies (ties broken by parent id for determinism).
+std::vector<trace::TraceDep> kept_deps(const trace::TraceRecord& r,
+                                       std::uint32_t window) {
+  if (r.deps.size() <= window) return r.deps;
+  std::vector<trace::TraceDep> out = r.deps;
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.slack != b.slack) return a.slack < b.slack;
+    return a.parent < b.parent;
+  });
+  out.resize(window);
+  return out;
+}
+
+struct PassState {
+  std::vector<std::vector<trace::TraceDep>> kept;
+  std::vector<std::uint32_t> pending;
+  std::vector<Cycle> ready;  // max(arrival' + slack) over resolved kept deps
+};
+
+}  // namespace
+
+ReplayResult replay_once(const trace::Trace& trace,
+                         const trace::DependencyGraph& graph,
+                         const NetworkFactory& factory,
+                         const ReplayConfig& config,
+                         const std::vector<Cycle>* baseline) {
+  const auto n = static_cast<std::uint32_t>(trace.records.size());
+  const bool naive = (config.mode == ReplayMode::kNaive);
+
+  Simulator sim;
+  auto net = factory(sim);
+  if (!net) throw std::logic_error("replay: factory returned null network");
+  if (net->node_count() != trace.nodes) {
+    throw std::invalid_argument("replay: network size != trace nodes");
+  }
+
+  ReplayResult out;
+  out.inject_time.assign(n, kNoCycle);
+  out.arrive_time.assign(n, kNoCycle);
+
+  PassState st;
+  st.kept.resize(n);
+  st.pending.assign(n, 0);
+  st.ready.assign(n, 0);
+
+  // Lower bound per record when its kept-dependency set is empty (anchors
+  // and fully-truncated records). With kept deps, the dependency max alone
+  // defines the injection time (capture equality: inject == arrival+slack).
+  std::vector<Cycle> bound(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& r = trace.records[i];
+    st.kept[i] = naive ? std::vector<trace::TraceDep>{}
+                       : kept_deps(r, config.dependency_window);
+    st.pending[i] = static_cast<std::uint32_t>(st.kept[i].size());
+    if (baseline) {
+      bound[i] = (*baseline)[i];
+    } else {
+      // First pass: anchor dependency-less schedules at the captured times.
+      bound[i] = st.kept[i].empty() ? r.inject_time : 0;
+    }
+  }
+
+  auto inject_record = [&](std::uint32_t idx) {
+    const auto& r = trace.records[idx];
+    noc::Message m;
+    m.id = r.id;
+    m.src = r.src;
+    m.dst = r.dst;
+    m.size_bytes = r.size_bytes;
+    m.cls = r.cls;
+    m.tag = idx;
+    out.inject_time[idx] = sim.now();
+    net->inject(m);
+  };
+
+  // Same-cycle injections must enter the network in capture order (record
+  // ids increase with capture event order), or arbitration ties resolve
+  // differently and the fixed-point property breaks. Eligible records are
+  // therefore batched per cycle and flushed sorted; the flush event is
+  // created when a cycle first gains a record, and network deliveries at a
+  // cycle always precede it (link latencies are >= 1, so all deliveries for
+  // cycle t were enqueued before t began).
+  std::unordered_map<Cycle, std::vector<std::uint32_t>> eligible_at;
+  std::function<void(std::uint32_t, Cycle)> mark_eligible =
+      [&](std::uint32_t idx, Cycle t) {
+        auto& batch = eligible_at[t];
+        if (batch.empty()) {
+          sim.schedule_late(t, [&, t] {
+            auto node = eligible_at.extract(t);
+            auto& ids = node.mapped();
+            std::sort(ids.begin(), ids.end());
+            for (const std::uint32_t idx2 : ids) inject_record(idx2);
+          });
+        }
+        batch.push_back(idx);
+      };
+
+  net->set_deliver_callback([&](const noc::Message& msg) {
+    const auto idx = static_cast<std::uint32_t>(msg.tag);
+    out.arrive_time[idx] = msg.arrive_time;
+    if (naive) return;
+    for (const std::uint32_t c : graph.children_of(idx)) {
+      // Is this parent one of c's enforced deps? (kept sets are tiny)
+      const MsgId pid = trace.records[idx].id;
+      for (const auto& d : st.kept[c]) {
+        if (d.parent != pid) continue;
+        st.ready[c] = std::max(st.ready[c], msg.arrive_time + d.slack);
+        if (--st.pending[c] == 0) {
+          const Cycle t = std::max({st.ready[c], bound[c], sim.now()});
+          mark_eligible(c, t);
+        }
+        break;
+      }
+    }
+  });
+
+  // Seed: everything without pending kept deps starts at its bound.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (st.pending[i] == 0) mark_eligible(i, bound[i]);
+  }
+
+  sim.run();
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (out.arrive_time[i] == kNoCycle) {
+      throw std::logic_error(
+          "replay: record never delivered (dependency cycle or lost "
+          "message), id=" + std::to_string(trace.records[i].id));
+    }
+  }
+  out.runtime = *std::max_element(out.arrive_time.begin(),
+                                  out.arrive_time.end());
+  out.events = sim.events_executed();
+  return out;
+}
+
+ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
+                    const ReplayConfig& config) {
+  const trace::DependencyGraph graph(trace);
+  if (trace.records.empty()) {
+    ReplayResult empty;
+    return empty;
+  }
+
+  std::uint32_t max_deps = 0;
+  for (const auto& r : trace.records) {
+    max_deps = std::max(max_deps, static_cast<std::uint32_t>(r.deps.size()));
+  }
+  const bool single_pass = (config.mode == ReplayMode::kNaive) ||
+                           (config.dependency_window >= max_deps);
+
+  ReplayResult result = replay_once(trace, graph, factory, config, nullptr);
+  if (single_pass) return result;
+
+  // Iterative self-correction for truncated windows: re-derive each
+  // record's lower bound from its *full* dependency list evaluated against
+  // the previous pass's arrival times, then replay again, until injection
+  // times stop moving.
+  const auto n = static_cast<std::uint32_t>(trace.records.size());
+  std::uint64_t total_events = result.events;
+  for (int iter = 2; iter <= config.max_iterations; ++iter) {
+    std::vector<Cycle> bound(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto& r = trace.records[i];
+      if (r.deps.empty()) {
+        bound[i] = r.inject_time;  // anchors never move
+        continue;
+      }
+      Cycle b = 0;
+      for (const auto& d : r.deps) {
+        const auto p = graph.index_of(d.parent);
+        b = std::max(b, result.arrive_time[p] + d.slack);
+      }
+      bound[i] = b;
+    }
+    ReplayResult next = replay_once(trace, graph, factory, config, &bound);
+    total_events += next.events;
+
+    double shift = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto a = next.inject_time[i];
+      const auto b = result.inject_time[i];
+      shift += static_cast<double>(a > b ? a - b : b - a);
+    }
+    shift /= static_cast<double>(n);
+
+    result = std::move(next);
+    result.iterations = iter;
+    result.residual = shift;
+    if (shift < config.convergence_threshold) break;
+  }
+  result.events = total_events;
+  return result;
+}
+
+}  // namespace sctm::core

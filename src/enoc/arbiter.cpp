@@ -1,0 +1,56 @@
+#include "enoc/arbiter.hpp"
+
+#include <cassert>
+
+namespace sctm::enoc {
+
+int RoundRobinArbiter::grant(const std::vector<bool>& requests) {
+  assert(static_cast<int>(requests.size()) == width_);
+  for (int off = 0; off < width_; ++off) {
+    const int idx = (next_ + off) % width_;
+    if (requests[idx]) {
+      next_ = (idx + 1) % width_;
+      return idx;
+    }
+  }
+  return -1;
+}
+
+MatrixArbiter::MatrixArbiter(int width) : width_(width) { reset(); }
+
+void MatrixArbiter::reset() {
+  prio_.assign(width_, std::vector<bool>(width_, false));
+  // Initial total order: lower index beats higher.
+  for (int i = 0; i < width_; ++i) {
+    for (int j = i + 1; j < width_; ++j) prio_[i][j] = true;
+  }
+}
+
+int MatrixArbiter::grant(const std::vector<bool>& requests) {
+  assert(static_cast<int>(requests.size()) == width_);
+  int winner = -1;
+  for (int i = 0; i < width_; ++i) {
+    if (!requests[i]) continue;
+    bool beaten = false;
+    for (int j = 0; j < width_; ++j) {
+      if (j != i && requests[j] && prio_[j][i]) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) {
+      winner = i;
+      break;
+    }
+  }
+  if (winner >= 0) {
+    // Winner becomes lowest priority: everyone beats it, it beats no one.
+    for (int j = 0; j < width_; ++j) {
+      prio_[winner][j] = false;
+      if (j != winner) prio_[j][winner] = true;
+    }
+  }
+  return winner;
+}
+
+}  // namespace sctm::enoc

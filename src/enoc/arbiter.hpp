@@ -1,0 +1,48 @@
+// Arbiters used by the router's allocators.
+//
+// RoundRobinArbiter: classic rotating-priority arbiter — fair over time,
+// deterministic given request history. MatrixArbiter: least-recently-granted
+// matrix arbiter, which some designs prefer for switch allocation; both are
+// exposed so the ablation benches can compare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sctm::enoc {
+
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+  /// Picks one set bit of `requests` (index) or -1 when none. Updates
+  /// internal priority state only when a grant is issued.
+  virtual int grant(const std::vector<bool>& requests) = 0;
+  virtual void reset() = 0;
+};
+
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(int width) : width_(width) {}
+
+  int grant(const std::vector<bool>& requests) override;
+  void reset() override { next_ = 0; }
+
+ private:
+  int width_;
+  int next_ = 0;  // highest-priority index for the next grant
+};
+
+class MatrixArbiter final : public Arbiter {
+ public:
+  explicit MatrixArbiter(int width);
+
+  int grant(const std::vector<bool>& requests) override;
+  void reset() override;
+
+ private:
+  int width_;
+  // prio_[i][j] == true means i beats j.
+  std::vector<std::vector<bool>> prio_;
+};
+
+}  // namespace sctm::enoc

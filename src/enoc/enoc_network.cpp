@@ -1,0 +1,132 @@
+#include "enoc/enoc_network.hpp"
+
+#include <stdexcept>
+
+namespace sctm::enoc {
+
+EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
+                         const noc::Topology& topo, const EnocParams& params)
+    : Network(sim, std::move(name), topo.node_count()),
+      topo_(topo),
+      params_(params) {
+  if (!noc::compatible(topo_, params_.routing)) {
+    throw std::invalid_argument(this->name() +
+                                ": routing algorithm incompatible with " +
+                                topo_.describe());
+  }
+  routers_.reserve(static_cast<std::size_t>(topo_.node_count()));
+  for (NodeId n = 0; n < topo_.node_count(); ++n) {
+    routers_.push_back(std::make_unique<Router>(
+        sim, this->name() + ".r" + std::to_string(n), n, topo_, params_,
+        static_cast<RouterCallbacks&>(*this)));
+  }
+}
+
+void EnocNetwork::inject(noc::Message msg) {
+  note_injected(msg);
+  const std::uint32_t nflits = params_.flits_for(msg.size_bytes);
+  std::vector<Flit> flits;
+  flits.reserve(nflits);
+  for (std::uint32_t i = 0; i < nflits; ++i) {
+    Flit f;
+    f.msg = msg.id;
+    f.src = msg.src;
+    f.dst = msg.dst;
+    f.cls = msg.cls;
+    f.seq = i;
+    f.is_head = (i == 0);
+    f.is_tail = (i == nflits - 1);
+    f.injected_at = msg.inject_time;
+    flits.push_back(f);
+  }
+  pending_.emplace(msg.id, PendingMsg{msg, nflits});
+  routers_[static_cast<std::size_t>(msg.src)]->inject(std::move(flits));
+  ++in_flight_;
+  ensure_ticking();
+}
+
+namespace {
+// FNV-1a style mixing for the activity hash.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+void EnocNetwork::forward_flit(NodeId node, int out_dir, const Flit& flit) {
+  activity_hash_ = mix(activity_hash_,
+                       (static_cast<std::uint64_t>(sim().now()) << 24) ^
+                           (flit.msg << 8) ^
+                           (static_cast<std::uint64_t>(flit.seq) << 4) ^
+                           static_cast<std::uint64_t>(node * 8 + out_dir));
+  if (probe_) probe_(sim().now(), out_dir, flit.msg, node);
+  const NodeId next = topo_.neighbor(node, out_dir);
+  if (next == kInvalidNode) {
+    throw std::logic_error(name() + ": flit forwarded off the fabric edge");
+  }
+  const int arrival_port =
+      topo_.kind() == noc::Topology::Kind::kRing
+          ? (out_dir == noc::kRingCw ? noc::kRingCcw : noc::kRingCw)
+          : noc::Topology::opposite(out_dir);
+  Flit f = flit;
+  sim().schedule_in(params_.link_latency, [this, next, arrival_port, f] {
+    routers_[static_cast<std::size_t>(next)]->receive_flit(arrival_port, f);
+  });
+}
+
+void EnocNetwork::eject_flit(NodeId node, const Flit& flit) {
+  activity_hash_ = mix(activity_hash_,
+                       (static_cast<std::uint64_t>(sim().now()) << 24) ^
+                           (flit.msg << 8) ^
+                           (static_cast<std::uint64_t>(flit.seq) << 4) ^
+                           static_cast<std::uint64_t>(node * 8 + 7));
+  if (probe_) probe_(sim().now(), -1, flit.msg, node);
+  const auto it = pending_.find(flit.msg);
+  if (it == pending_.end()) {
+    throw std::logic_error(name() + ": ejected flit of unknown message");
+  }
+  if (it->second.msg.dst != node) {
+    throw std::logic_error(name() + ": flit ejected at wrong node");
+  }
+  if (--it->second.flits_remaining == 0) {
+    noc::Message msg = it->second.msg;
+    pending_.erase(it);
+    --in_flight_;
+    deliver(msg);
+  }
+}
+
+void EnocNetwork::return_credit(NodeId node, int in_dir, int vc) {
+  // The credit goes to the upstream router that feeds our input port
+  // `in_dir`: that is our neighbor through `in_dir` itself, and the flit left
+  // it through the opposite port.
+  const NodeId up = topo_.neighbor(node, in_dir);
+  if (up == kInvalidNode) {
+    throw std::logic_error(name() + ": credit to nonexistent neighbor");
+  }
+  const int up_out =
+      topo_.kind() == noc::Topology::Kind::kRing
+          ? (in_dir == noc::kRingCw ? noc::kRingCcw : noc::kRingCw)
+          : noc::Topology::opposite(in_dir);
+  sim().schedule_in(params_.credit_latency, [this, up, up_out, vc] {
+    routers_[static_cast<std::size_t>(up)]->receive_credit(up_out, vc);
+  });
+}
+
+void EnocNetwork::ensure_ticking() {
+  if (ticking_) return;
+  ticking_ = true;
+  sim().schedule_in(1, [this] { tick(); });
+}
+
+void EnocNetwork::tick() {
+  ++active_cycles_;
+  for (auto& r : routers_) r->tick();
+  if (in_flight_ > 0) {
+    sim().schedule_in(1, [this] { tick(); });
+  } else {
+    ticking_ = false;
+  }
+}
+
+}  // namespace sctm::enoc

@@ -1,0 +1,73 @@
+// Electrical NoC: routers + links + message segmentation/reassembly.
+//
+// This is the "baseline NOC simulator" of the paper's case study: a
+// cycle-accurate VC wormhole mesh/torus/ring. The network self-clocks: it
+// ticks only while any message is in flight, so an idle network costs no
+// events (crucial for trace replay speed).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "enoc/params.hpp"
+#include "enoc/router.hpp"
+#include "noc/network.hpp"
+#include "noc/topology.hpp"
+
+namespace sctm::enoc {
+
+class EnocNetwork final : public noc::Network, private RouterCallbacks {
+ public:
+  EnocNetwork(Simulator& sim, std::string name, const noc::Topology& topo,
+              const EnocParams& params);
+
+  void inject(noc::Message msg) override;
+  bool idle() const override { return in_flight_ == 0; }
+
+  const noc::Topology& topology() const { return topo_; }
+  const EnocParams& params() const { return params_; }
+  Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
+
+  /// Cycles during which the network clock was running (power accounting).
+  std::uint64_t active_cycles() const { return active_cycles_; }
+
+  /// Order-sensitive hash over every flit hop and ejection (msg, seq, node,
+  /// port, cycle). Two runs with identical datapath behaviour produce
+  /// identical hashes — the determinism and replay-fixed-point tests compare
+  /// these to catch divergence that aggregate stats would mask.
+  std::uint64_t activity_hash() const { return activity_hash_; }
+
+  /// Calls `fn(cycle, event_code, msg, node)` for every forwarded/ejected
+  /// flit when set (debugging aid; adds overhead only when installed).
+  using ActivityProbe =
+      std::function<void(Cycle, int, MsgId, NodeId)>;
+  void set_activity_probe(ActivityProbe fn) { probe_ = std::move(fn); }
+
+ private:
+  // RouterCallbacks
+  void forward_flit(NodeId node, int out_dir, const Flit& flit) override;
+  void eject_flit(NodeId node, const Flit& flit) override;
+  void return_credit(NodeId node, int in_dir, int vc) override;
+
+  void tick();
+  void ensure_ticking();
+
+  struct PendingMsg {
+    noc::Message msg;
+    std::uint32_t flits_remaining = 0;
+  };
+
+  noc::Topology topo_;
+  EnocParams params_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::unordered_map<MsgId, PendingMsg> pending_;
+  std::uint64_t in_flight_ = 0;
+  bool ticking_ = false;
+  std::uint64_t active_cycles_ = 0;
+  std::uint64_t activity_hash_ = 0;
+  ActivityProbe probe_;
+};
+
+}  // namespace sctm::enoc

@@ -1,0 +1,41 @@
+#include "enoc/params.hpp"
+
+#include <stdexcept>
+
+namespace sctm::enoc {
+
+EnocParams EnocParams::from_config(const Config& cfg) {
+  EnocParams p;
+  p.vnets = static_cast<int>(cfg.get_int("enoc.vnets", p.vnets));
+  p.vcs_per_vnet =
+      static_cast<int>(cfg.get_int("enoc.vcs_per_vnet", p.vcs_per_vnet));
+  p.buffer_depth =
+      static_cast<int>(cfg.get_int("enoc.buffer_depth", p.buffer_depth));
+  p.flit_bytes = static_cast<std::uint32_t>(
+      cfg.get_int("enoc.flit_bytes", p.flit_bytes));
+  p.head_bytes = static_cast<std::uint32_t>(
+      cfg.get_int("enoc.head_bytes", p.head_bytes));
+  p.link_latency =
+      static_cast<Cycle>(cfg.get_int("enoc.link_latency",
+                                     static_cast<std::int64_t>(p.link_latency)));
+  p.credit_latency = static_cast<Cycle>(cfg.get_int(
+      "enoc.credit_latency", static_cast<std::int64_t>(p.credit_latency)));
+  p.adaptive = cfg.get_bool("enoc.adaptive", p.adaptive);
+
+  const std::string algo = cfg.get_string("enoc.routing", "xy");
+  if (algo == "xy") p.routing = noc::RoutingAlgo::kXY;
+  else if (algo == "yx") p.routing = noc::RoutingAlgo::kYX;
+  else if (algo == "odd-even") p.routing = noc::RoutingAlgo::kOddEven;
+  else if (algo == "ring-shortest") p.routing = noc::RoutingAlgo::kRingShortest;
+  else if (algo == "torus-dor") p.routing = noc::RoutingAlgo::kTorusDor;
+  else throw std::invalid_argument("enoc.routing: unknown algorithm " + algo);
+
+  const std::string arb = cfg.get_string("enoc.arbiter", "round-robin");
+  if (arb == "round-robin") p.arbiter = ArbiterKind::kRoundRobin;
+  else if (arb == "matrix") p.arbiter = ArbiterKind::kMatrix;
+  else throw std::invalid_argument("enoc.arbiter: unknown kind " + arb);
+
+  return p;
+}
+
+}  // namespace sctm::enoc

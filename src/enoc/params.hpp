@@ -1,0 +1,59 @@
+// Electrical NoC configuration.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/config.hpp"
+#include "common/units.hpp"
+#include "noc/routing.hpp"
+
+namespace sctm::enoc {
+
+enum class ArbiterKind { kRoundRobin, kMatrix };
+
+struct EnocParams {
+  /// Virtual networks (message-class partitions for protocol deadlock
+  /// avoidance): requests/control on vnet 0, replies/data on vnet 1.
+  int vnets = 2;
+  /// VCs per vnet per port. Must be even on torus/ring (dateline halves).
+  int vcs_per_vnet = 2;
+  /// Buffer depth per VC, in flits.
+  int buffer_depth = 4;
+  /// Flit width in bytes (link phit width).
+  std::uint32_t flit_bytes = 16;
+  /// Packet header overhead added to the payload before segmentation.
+  std::uint32_t head_bytes = 8;
+  Cycle link_latency = 1;
+  Cycle credit_latency = 1;
+  noc::RoutingAlgo routing = noc::RoutingAlgo::kXY;
+  /// Adaptive output-port selection among routing candidates by free credits.
+  bool adaptive = false;
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+
+  int total_vcs() const { return vnets * vcs_per_vnet; }
+
+  /// Flits for a message of `payload` bytes (>=1; header piggybacks).
+  std::uint32_t flits_for(std::uint32_t payload) const {
+    const std::uint32_t bytes = payload + head_bytes;
+    return bytes == 0 ? 1 : (bytes + flit_bytes - 1) / flit_bytes;
+  }
+
+  void validate(bool needs_dateline) const {
+    if (vnets < 1 || vcs_per_vnet < 1 || buffer_depth < 1 || flit_bytes == 0) {
+      throw std::invalid_argument("EnocParams: non-positive parameter");
+    }
+    if (link_latency < 1 || credit_latency < 1) {
+      throw std::invalid_argument("EnocParams: latencies must be >= 1");
+    }
+    if (needs_dateline && vcs_per_vnet % 2 != 0) {
+      throw std::invalid_argument(
+          "EnocParams: torus/ring needs even vcs_per_vnet (dateline halves)");
+    }
+  }
+
+  /// Reads "enoc.*" keys with these defaults.
+  static EnocParams from_config(const Config& cfg);
+};
+
+}  // namespace sctm::enoc

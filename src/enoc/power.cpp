@@ -1,0 +1,39 @@
+#include "enoc/power.hpp"
+
+namespace sctm::enoc {
+
+double EnergyBreakdown::watts(std::uint64_t cycles, double clock_ghz) const {
+  if (cycles == 0) return 0.0;
+  const double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
+  return total_pj() * 1e-12 / seconds;
+}
+
+EnergyBreakdown compute_enoc_energy(const StatRegistry& stats,
+                                    const std::string& network_name,
+                                    int router_count,
+                                    std::uint64_t active_cycles,
+                                    const EnocEnergyParams& params) {
+  EnergyBreakdown out;
+  const std::string prefix = network_name + ".r";
+  for (const auto& name : stats.names()) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const auto val = static_cast<double>(stats.counter_value(name));
+    if (name.ends_with(".buffer_writes")) {
+      out.buffer_pj += val * params.buffer_write_pj;
+    } else if (name.ends_with(".buffer_reads")) {
+      out.buffer_pj += val * params.buffer_read_pj;
+    } else if (name.ends_with(".xbar_traversals")) {
+      out.xbar_pj += val * params.xbar_traversal_pj;
+    } else if (name.ends_with(".link_traversals")) {
+      out.link_pj += val * params.link_traversal_pj;
+    } else if (name.ends_with(".sa_grants") || name.ends_with(".va_grants")) {
+      out.arbiter_pj += val * params.arbitration_pj;
+    }
+  }
+  out.static_pj = params.router_leakage_pj_per_cycle *
+                  static_cast<double>(router_count) *
+                  static_cast<double>(active_cycles);
+  return out;
+}
+
+}  // namespace sctm::enoc

@@ -1,0 +1,348 @@
+#include "enoc/router.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace sctm::enoc {
+namespace {
+
+constexpr int kInfiniteCredits = std::numeric_limits<int>::max() / 2;
+
+std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind, int width) {
+  if (kind == ArbiterKind::kMatrix) {
+    return std::make_unique<MatrixArbiter>(width);
+  }
+  return std::make_unique<RoundRobinArbiter>(width);
+}
+
+}  // namespace
+
+Router::Router(Simulator& sim, std::string name, NodeId id,
+               const noc::Topology& topo, const EnocParams& params,
+               RouterCallbacks& callbacks)
+    : Component(sim, std::move(name)),
+      id_(id),
+      topo_(topo),
+      params_(params),
+      cb_(callbacks),
+      ports_(topo.port_count()),
+      vcount_(params.total_vcs()),
+      needs_dateline_(topo.kind() != noc::Topology::Kind::kMesh),
+      stat_buffer_writes_(counter("buffer_writes")),
+      stat_buffer_reads_(counter("buffer_reads")),
+      stat_xbar_(counter("xbar_traversals")),
+      stat_link_(counter("link_traversals")),
+      stat_sa_grants_(counter("sa_grants")),
+      stat_va_grants_(counter("va_grants")),
+      stat_rc_(counter("rc_count")) {
+  params_.validate(needs_dateline_);
+  inputs_.resize(static_cast<std::size_t>(ports_) * vcount_);
+  outputs_.resize(static_cast<std::size_t>(ports_) * vcount_);
+  for (int p = 0; p < ports_; ++p) {
+    const bool ejection = (p == topo_.local_port());
+    for (int v = 0; v < vcount_; ++v) {
+      out_vc(p, v).credits = ejection ? kInfiniteCredits : params_.buffer_depth;
+    }
+    sa_input_arb_.push_back(make_arbiter(params_.arbiter, vcount_));
+    sa_output_arb_.push_back(make_arbiter(params_.arbiter, ports_));
+    va_arb_.push_back(make_arbiter(params_.arbiter, ports_ * vcount_));
+  }
+}
+
+int Router::vnet_of(noc::MsgClass cls) const {
+  if (params_.vnets < 2) return 0;
+  switch (cls) {
+    case noc::MsgClass::kRequest:
+    case noc::MsgClass::kControl:
+      return 0;
+    case noc::MsgClass::kReply:
+    case noc::MsgClass::kData:
+      return 1;
+  }
+  return 0;
+}
+
+std::pair<int, int> Router::allowed_vcs(noc::MsgClass cls,
+                                        std::uint8_t dateline) const {
+  const int base = vnet_of(cls) * params_.vcs_per_vnet;
+  if (!needs_dateline_) return {base, base + params_.vcs_per_vnet};
+  const int half = params_.vcs_per_vnet / 2;
+  const int lo = base + (dateline ? half : 0);
+  return {lo, lo + half};
+}
+
+bool Router::is_wrap_link(int out_dir) const {
+  if (topo_.kind() == noc::Topology::Kind::kMesh) return false;
+  if (out_dir >= topo_.radix()) return false;
+  const noc::Coord c = topo_.coords(id_);
+  if (topo_.kind() == noc::Topology::Kind::kRing) {
+    const int n = topo_.node_count();
+    return (out_dir == noc::kRingCw && id_ == n - 1) ||
+           (out_dir == noc::kRingCcw && id_ == 0);
+  }
+  switch (out_dir) {
+    case noc::kEast: return c.x == topo_.width() - 1;
+    case noc::kWest: return c.x == 0;
+    case noc::kSouth: return c.y == topo_.height() - 1;
+    case noc::kNorth: return c.y == 0;
+  }
+  return false;
+}
+
+int Router::axis_of(int dir) {
+  return (dir == noc::kEast || dir == noc::kWest) ? 0 : 1;
+}
+
+void Router::receive_flit(int in_port, Flit flit) {
+  assert(in_port >= 0 && in_port < ports_);
+  assert(flit.vc >= 0 && flit.vc < vcount_);
+  auto& ivc = in_vc(in_port, flit.vc);
+  if (static_cast<int>(ivc.fifo.size()) >= params_.buffer_depth) {
+    throw std::logic_error(name() + ": input buffer overflow (credit bug)");
+  }
+  ivc.fifo.push_back(flit);
+  ++stat_buffer_writes_;
+}
+
+void Router::receive_credit(int out_port, int vc) {
+  auto& ovc = out_vc(out_port, vc);
+  ++ovc.credits;
+  if (ovc.credits > params_.buffer_depth && out_port != topo_.local_port()) {
+    throw std::logic_error(name() + ": credit overflow");
+  }
+}
+
+void Router::inject(std::vector<Flit> flits) {
+  for (auto& f : flits) inj_queue_.push_back(f);
+}
+
+bool Router::has_work() const {
+  if (!inj_queue_.empty()) return true;
+  for (const auto& ivc : inputs_) {
+    if (!ivc.fifo.empty()) return true;
+  }
+  return false;
+}
+
+int Router::free_credits(int port) const {
+  if (port == topo_.local_port()) return kInfiniteCredits;
+  int total = 0;
+  for (int v = 0; v < vcount_; ++v) total += outputs_[vc_index(port, v)].credits;
+  return total;
+}
+
+bool Router::tick() {
+  phase_switch_allocation();
+  phase_vc_allocation();
+  phase_route_compute();
+  phase_injection();
+  return has_work();
+}
+
+void Router::phase_switch_allocation() {
+  // Stage 1: each input port nominates one ready VC.
+  std::vector<int> nominee(ports_, -1);  // VC index per input port
+  for (int p = 0; p < ports_; ++p) {
+    std::vector<bool> req(vcount_, false);
+    bool any = false;
+    for (int v = 0; v < vcount_; ++v) {
+      const auto& ivc = in_vc(p, v);
+      if (ivc.fifo.empty() || ivc.out_port < 0 || ivc.out_vc < 0) continue;
+      const auto& ovc = outputs_[vc_index(ivc.out_port, ivc.out_vc)];
+      if (ovc.credits <= 0) continue;
+      req[v] = true;
+      any = true;
+    }
+    if (any) nominee[p] = sa_input_arb_[p]->grant(req);
+  }
+
+  // Stage 2: each output port grants one nominated input port.
+  std::vector<int> winner_in(ports_, -1);  // input port per output port
+  for (int q = 0; q < ports_; ++q) {
+    std::vector<bool> req(ports_, false);
+    bool any = false;
+    for (int p = 0; p < ports_; ++p) {
+      if (nominee[p] < 0) continue;
+      if (in_vc(p, nominee[p]).out_port == q) {
+        req[p] = true;
+        any = true;
+      }
+    }
+    if (any) {
+      const int w = sa_output_arb_[q]->grant(req);
+      if (w >= 0) winner_in[q] = w;
+    }
+  }
+
+  for (int q = 0; q < ports_; ++q) {
+    if (winner_in[q] >= 0) {
+      send_flit(winner_in[q], nominee[winner_in[q]]);
+      ++stat_sa_grants_;
+    }
+  }
+}
+
+void Router::send_flit(int in_port, int in_vc_idx) {
+  auto& ivc = in_vc(in_port, in_vc_idx);
+  Flit f = ivc.fifo.front();
+  ivc.fifo.pop_front();
+  ++stat_buffer_reads_;
+  ++stat_xbar_;
+
+  const int out = ivc.out_port;
+  auto& ovc = outputs_[vc_index(out, ivc.out_vc)];
+  f.vc = static_cast<std::int16_t>(ivc.out_vc);
+  f.dateline = ivc.next_dateline;
+
+  const bool ejecting = (out == topo_.local_port());
+  if (!ejecting) {
+    --ovc.credits;
+    ++stat_link_;
+    cb_.forward_flit(id_, out, f);
+  } else {
+    cb_.eject_flit(id_, f);
+  }
+
+  if (f.is_tail) {
+    ovc.busy = false;
+    ivc.out_port = -1;
+    ivc.out_vc = -1;
+  }
+
+  // Return a credit upstream for the slot we just freed (links only; the
+  // local injection path reads buffer occupancy directly).
+  if (in_port != topo_.local_port()) {
+    cb_.return_credit(id_, in_port, in_vc_idx);
+  }
+}
+
+void Router::phase_vc_allocation() {
+  // One grant per output port per cycle, arbitrated over input VCs.
+  for (int q = 0; q < ports_; ++q) {
+    std::vector<bool> req(static_cast<std::size_t>(ports_) * vcount_, false);
+    bool any = false;
+    for (int p = 0; p < ports_; ++p) {
+      for (int v = 0; v < vcount_; ++v) {
+        const auto& ivc = in_vc(p, v);
+        if (ivc.out_port != q || ivc.out_vc >= 0 || ivc.fifo.empty()) continue;
+        // A free VC in the packet's allowed range must exist.
+        const auto [lo, hi] =
+            allowed_vcs(ivc.fifo.front().cls, ivc.next_dateline);
+        bool free_exists = false;
+        for (int ov = lo; ov < hi; ++ov) {
+          if (!outputs_[vc_index(q, ov)].busy) {
+            free_exists = true;
+            break;
+          }
+        }
+        if (free_exists) {
+          req[static_cast<std::size_t>(p) * vcount_ + v] = true;
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;
+    const int g = va_arb_[q]->grant(req);
+    if (g < 0) continue;
+    const int p = g / vcount_;
+    const int v = g % vcount_;
+    auto& ivc = in_vc(p, v);
+    const auto [lo, hi] = allowed_vcs(ivc.fifo.front().cls, ivc.next_dateline);
+    for (int ov = lo; ov < hi; ++ov) {
+      auto& ovc = outputs_[vc_index(q, ov)];
+      if (!ovc.busy) {
+        ovc.busy = true;
+        ivc.out_vc = ov;
+        ++stat_va_grants_;
+        break;
+      }
+    }
+  }
+}
+
+void Router::phase_route_compute() {
+  for (int p = 0; p < ports_; ++p) {
+    for (int v = 0; v < vcount_; ++v) {
+      auto& ivc = in_vc(p, v);
+      if (ivc.fifo.empty() || ivc.out_port >= 0) continue;
+      const Flit& head = ivc.fifo.front();
+      if (!head.is_head) {
+        throw std::logic_error(name() + ": body flit at unrouted VC head");
+      }
+      ++stat_rc_;
+      if (head.dst == id_) {
+        ivc.out_port = topo_.local_port();
+        ivc.next_dateline = 0;
+        continue;
+      }
+      const auto candidates = noc::route_candidates(
+          topo_, params_.routing, head.src, id_, head.dst);
+      int chosen = candidates.front();
+      if (params_.adaptive && candidates.size() > 1) {
+        int best = -1;
+        for (const int c : candidates) {
+          const int fc = free_credits(c);
+          if (fc > best) {
+            best = fc;
+            chosen = c;
+          }
+        }
+      }
+      ivc.out_port = chosen;
+      if (is_wrap_link(chosen)) {
+        ivc.next_dateline = 1;
+      } else if (p != topo_.local_port() && p < topo_.radix() &&
+                 axis_of(p) != axis_of(chosen)) {
+        ivc.next_dateline = 0;  // dimension change resets the subclass
+      } else {
+        ivc.next_dateline = head.dateline;
+      }
+    }
+  }
+}
+
+void Router::phase_injection() {
+  if (inj_queue_.empty()) return;
+  Flit& f = inj_queue_.front();
+  // Only pull flits injected strictly before this cycle: the pull instant
+  // then depends on the injection *cycle* alone, never on how the inject
+  // event was ordered against this tick within the cycle — a requirement
+  // for the trace-replay fixed-point property.
+  if (f.injected_at >= now()) return;
+  const int local = topo_.local_port();
+
+  if (f.is_head) {
+    assert(inj_active_msg_ == kInvalidMsg);
+    const auto [lo, hi] = allowed_vcs(f.cls, 0);
+    for (int v = lo; v < hi; ++v) {
+      auto& ivc = in_vc(local, v);
+      if (ivc.fifo.empty() && ivc.out_port < 0) {
+        Flit head = f;
+        head.vc = static_cast<std::int16_t>(v);
+        inj_queue_.pop_front();
+        if (!head.is_tail) {
+          inj_active_vc_ = v;
+          inj_active_msg_ = head.msg;
+        }
+        receive_flit(local, head);
+        return;  // local port bandwidth: one flit per cycle
+      }
+    }
+    return;  // no free VC; head blocks the injection queue
+  }
+
+  assert(inj_active_msg_ == f.msg && inj_active_vc_ >= 0);
+  auto& ivc = in_vc(local, inj_active_vc_);
+  if (static_cast<int>(ivc.fifo.size()) >= params_.buffer_depth) return;
+  Flit body = f;
+  body.vc = static_cast<std::int16_t>(inj_active_vc_);
+  inj_queue_.pop_front();
+  if (body.is_tail) {
+    inj_active_vc_ = -1;
+    inj_active_msg_ = kInvalidMsg;
+  }
+  receive_flit(local, body);
+}
+
+}  // namespace sctm::enoc

@@ -1,0 +1,144 @@
+// Input-queued virtual-channel wormhole router.
+//
+// Three-stage pipeline, enforced by intra-tick phase ordering (SA/ST first,
+// then VA, then RC): a head flit that arrives in cycle t computes its route
+// in t, wins an output VC no earlier than t+1 and traverses the switch no
+// earlier than t+2 — a 3-cycle router, plus link latency per hop. Body flits
+// stream at one per cycle per port through switch allocation only.
+//
+// Flow control is credit-based: one credit == one flit slot in the
+// downstream input VC. Separable switch allocation (input-first then
+// output arbitration) with per-port round-robin or matrix arbiters.
+//
+// Deadlock discipline:
+//  * protocol: message classes are split across virtual networks,
+//  * routing: XY/YX/odd-even are turn-restricted on meshes; torus DOR and
+//    ring shortest use dateline VC subclasses — a packet moves to subclass 1
+//    when it traverses a wrap link and resets on a dimension change.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "enoc/arbiter.hpp"
+#include "enoc/flit.hpp"
+#include "enoc/params.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "sim/component.hpp"
+
+namespace sctm::enoc {
+
+/// Callbacks into the owning network (link traversal, credits, ejection).
+class RouterCallbacks {
+ public:
+  virtual ~RouterCallbacks() = default;
+  /// Flit leaves `node` through directional port `out_dir`; the network
+  /// schedules its arrival at the neighbor after link latency.
+  virtual void forward_flit(NodeId node, int out_dir, const Flit& flit) = 0;
+  /// Flit ejected at `node` (out port == local).
+  virtual void eject_flit(NodeId node, const Flit& flit) = 0;
+  /// Credit for (node's input port `in_dir`, vc) must return to the upstream
+  /// router after credit latency.
+  virtual void return_credit(NodeId node, int in_dir, int vc) = 0;
+};
+
+class Router : public Component {
+ public:
+  Router(Simulator& sim, std::string name, NodeId id,
+         const noc::Topology& topo, const EnocParams& params,
+         RouterCallbacks& callbacks);
+
+  /// One clock cycle of the pipeline. Returns true when the router still
+  /// holds any flit afterwards (activity hint).
+  bool tick();
+
+  /// Flit arrives on input port `in_port` in VC flit.vc (link delivery or,
+  /// for the local port, injection placement by inject_*).
+  void receive_flit(int in_port, Flit flit);
+
+  /// Credit arrives for output (out_port, vc).
+  void receive_credit(int out_port, int vc);
+
+  /// Queues a packet's flits for injection (unbounded source queue; the
+  /// router moves them into local-port VCs as space frees).
+  void inject(std::vector<Flit> flits);
+
+  NodeId id() const { return id_; }
+  bool has_work() const;
+  std::size_t injection_backlog() const { return inj_queue_.size(); }
+
+  /// Free credits on output port `port` across all VCs (adaptive metric).
+  int free_credits(int port) const;
+
+ private:
+  struct InputVc {
+    std::deque<Flit> fifo;
+    int out_port = -1;       // RC result; -1 = unrouted
+    int out_vc = -1;         // VA result; -1 = unallocated
+    std::uint8_t next_dateline = 0;  // subclass the packet occupies downstream
+  };
+  struct OutputVc {
+    int credits = 0;
+    bool busy = false;       // held by a packet until its tail is sent
+  };
+
+  int vc_index(int port, int vc) const { return port * vcount_ + vc; }
+  InputVc& in_vc(int port, int vc) { return inputs_[vc_index(port, vc)]; }
+  const InputVc& in_vc(int port, int vc) const {
+    return inputs_[vc_index(port, vc)];
+  }
+  OutputVc& out_vc(int port, int vc) { return outputs_[vc_index(port, vc)]; }
+
+  /// Allowed VC range [first, last) for a packet of class `cls` whose
+  /// dateline subclass will be `dateline` at the downstream buffer.
+  std::pair<int, int> allowed_vcs(noc::MsgClass cls, std::uint8_t dateline) const;
+
+  int vnet_of(noc::MsgClass cls) const;
+  bool is_wrap_link(int out_dir) const;
+  static int axis_of(int dir);
+
+  void phase_switch_allocation();
+  void phase_vc_allocation();
+  void phase_route_compute();
+  void phase_injection();
+
+  void send_flit(int in_port, int in_vc_idx);
+
+  NodeId id_;
+  noc::Topology topo_;
+  EnocParams params_;
+  RouterCallbacks& cb_;
+
+  int ports_;    // radix + 1 (local last)
+  int vcount_;   // VCs per port
+  bool needs_dateline_;
+
+  std::vector<InputVc> inputs_;    // [port][vc]
+  std::vector<OutputVc> outputs_;  // [port][vc]
+
+  // Switch-allocation arbiters: one per input port (VC selection) and one
+  // per output port (input selection).
+  std::vector<std::unique_ptr<Arbiter>> sa_input_arb_;
+  std::vector<std::unique_ptr<Arbiter>> sa_output_arb_;
+  // VC-allocation arbiters: one per output port.
+  std::vector<std::unique_ptr<Arbiter>> va_arb_;
+
+  // Injection source queue + which local VC each in-progress packet streams
+  // into (msg -> vc), to keep wormhole continuity at the local port.
+  std::deque<Flit> inj_queue_;
+  int inj_active_vc_ = -1;     // local VC of the packet currently streaming
+  MsgId inj_active_msg_ = kInvalidMsg;
+
+  // Hot-path stat counters, cached once (StatRegistry nodes are stable).
+  std::uint64_t& stat_buffer_writes_;
+  std::uint64_t& stat_buffer_reads_;
+  std::uint64_t& stat_xbar_;
+  std::uint64_t& stat_link_;
+  std::uint64_t& stat_sa_grants_;
+  std::uint64_t& stat_va_grants_;
+  std::uint64_t& stat_rc_;
+};
+
+}  // namespace sctm::enoc

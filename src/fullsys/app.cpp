@@ -1,0 +1,319 @@
+#include "fullsys/app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace sctm::fullsys {
+namespace {
+
+// Disjoint line-number regions per logical array (56-bit line space).
+constexpr std::uint64_t kRegionShift = 40;
+constexpr std::uint64_t region(std::uint64_t id) { return id << kRegionShift; }
+constexpr std::uint64_t kShared = region(1);   // shared arrays
+constexpr std::uint64_t kPrivate = region(2);  // per-core private arrays
+
+/// Line homed at `node` with block offset k (home map is line % cores).
+std::uint64_t homed_line(std::uint64_t base, int node, int cores, int k) {
+  return base + static_cast<std::uint64_t>(node) +
+         static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(cores);
+}
+
+class Builder {
+ public:
+  explicit Builder(const AppParams& p)
+      : p_(p), streams_(static_cast<std::size_t>(p.cores)) {}
+
+  void compute(int c, std::uint64_t cycles) {
+    if (cycles > 0) streams_[c].push_back({OpKind::kCompute, cycles});
+  }
+  void load(int c, std::uint64_t line) {
+    streams_[c].push_back({OpKind::kLoad, line});
+  }
+  void store(int c, std::uint64_t line) {
+    streams_[c].push_back({OpKind::kStore, line});
+  }
+  void barrier_all() {
+    for (auto& s : streams_) s.push_back({OpKind::kBarrier, 0});
+  }
+  std::vector<std::vector<Op>> finish() {
+    barrier_all();
+    for (auto& s : streams_) s.push_back({OpKind::kDone, 0});
+    return std::move(streams_);
+  }
+
+  const AppParams& p() const { return p_; }
+
+ private:
+  AppParams p_;
+  std::vector<std::vector<Op>> streams_;
+};
+
+std::vector<std::vector<Op>> build_jacobi(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  const int block = p.lines_per_core;
+  const int boundary = std::max(1, block / 8);
+  for (int it = 0; it < p.iterations; ++it) {
+    for (int c = 0; c < n; ++c) {
+      const int left = (c + n - 1) % n;
+      const int right = (c + 1) % n;
+      for (int k = 0; k < boundary; ++k) {
+        b.load(c, homed_line(kShared, left, n, k));
+        b.load(c, homed_line(kShared, right, n, k));
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+      }
+      for (int k = 0; k < block; ++k) {
+        b.load(c, homed_line(kShared, c, n, k));
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+        b.store(c, homed_line(kShared, c, n, k));
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+std::vector<std::vector<Op>> build_fft(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  int stages = 0;
+  while ((1 << (stages + 1)) <= n) ++stages;
+  const int m = std::max(1, p.lines_per_core / std::max(1, stages));
+  for (int it = 0; it < p.iterations; ++it) {
+    for (int s = 0; s < stages; ++s) {
+      for (int c = 0; c < n; ++c) {
+        const int partner = c ^ (1 << s);
+        for (int k = 0; k < m; ++k) {
+          b.load(c, homed_line(kShared, partner, n, s * m + k));
+          b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+          b.store(c, homed_line(kShared, c, n, s * m + k));
+        }
+      }
+      b.barrier_all();
+    }
+  }
+  return b.finish();
+}
+
+std::vector<std::vector<Op>> build_lu(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  const int panel = std::max(1, p.lines_per_core / 2);
+  for (int step = 0; step < p.iterations * 2; ++step) {
+    const int owner = step % n;
+    for (int c = 0; c < n; ++c) {
+      if (c == owner) {
+        for (int k = 0; k < panel; ++k) {
+          b.compute(c, static_cast<std::uint64_t>(p.compute_per_line) * 2);
+          b.store(c, homed_line(kShared, owner, n, (step % 4) * panel + k));
+        }
+      }
+    }
+    b.barrier_all();
+    for (int c = 0; c < n; ++c) {
+      if (c == owner) continue;
+      for (int k = 0; k < panel; ++k) {
+        b.load(c, homed_line(kShared, owner, n, (step % 4) * panel + k));
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+std::vector<std::vector<Op>> build_sort(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  const int per_peer = std::max(1, p.lines_per_core / std::max(1, n - 1));
+  for (int it = 0; it < p.iterations; ++it) {
+    for (int c = 0; c < n; ++c) {
+      // All-to-all read: fetch everyone else's bucket slice.
+      for (int q = 1; q < n; ++q) {
+        const int peer = (c + q) % n;
+        for (int k = 0; k < per_peer; ++k) {
+          b.load(c, homed_line(kShared, peer, n, it * per_peer + k));
+        }
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+      }
+      // Write back the locally merged run.
+      for (int k = 0; k < per_peer; ++k) {
+        b.store(c, homed_line(kShared, c, n, it * per_peer + k));
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+std::vector<std::vector<Op>> build_barnes(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  Rng rng(p.seed);
+  const int accesses = p.lines_per_core;
+  // Shared tree: hot top (few lines, all cores) + cold leaves.
+  const int hot_lines = std::max(2, n / 2);
+  const int cold_lines = n * p.lines_per_core;
+  for (int it = 0; it < p.iterations; ++it) {
+    for (int c = 0; c < n; ++c) {
+      for (int a = 0; a < accesses; ++a) {
+        std::uint64_t line;
+        if (rng.next_bool(0.3)) {
+          line = kShared + rng.next_below(static_cast<std::uint64_t>(hot_lines));
+        } else {
+          line = kShared + static_cast<std::uint64_t>(hot_lines) +
+                 rng.next_below(static_cast<std::uint64_t>(cold_lines));
+        }
+        b.load(c, line);
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+      }
+      // Update own body block.
+      for (int k = 0; k < accesses / 4 + 1; ++k) {
+        b.store(c, homed_line(kPrivate, c, n, k));
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+// Tree reduction: log2(n) levels of pairwise fan-in. At level l, core c
+// with (c % 2^(l+1)) == 2^l writes its partial into a line homed at the
+// receiving core c - 2^l, which reads it after the barrier — the classic
+// reduction/broadcast communication skeleton (converse of lu's fan-out).
+std::vector<std::vector<Op>> build_reduce(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  for (int it = 0; it < p.iterations; ++it) {
+    // Local phase: every core produces its partial result.
+    for (int c = 0; c < n; ++c) {
+      for (int k = 0; k < p.lines_per_core / 2 + 1; ++k) {
+        b.load(c, homed_line(kPrivate, c, n, k));
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+      }
+      b.store(c, homed_line(kShared, c, n, it));
+    }
+    b.barrier_all();
+    // Fan-in levels.
+    for (int level = 1; level < n; level <<= 1) {
+      for (int c = 0; c < n; ++c) {
+        if (c % (level * 2) == 0 && c + level < n) {
+          // Receiver: read the partner's partial, combine.
+          b.load(c, homed_line(kShared, c + level, n, it));
+          b.compute(c, static_cast<std::uint64_t>(p.compute_per_line) * 2);
+          b.store(c, homed_line(kShared, c, n, it));
+        }
+      }
+      b.barrier_all();
+    }
+    // Broadcast of the result: everyone reads the root's line.
+    for (int c = 1; c < n; ++c) {
+      b.load(c, homed_line(kShared, 0, n, it));
+      b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+// Software pipeline: core c produces a block consumed by core c+1 next
+// phase (ring of producer-consumer stages) — steady point-to-point streams
+// with one-hop logical distance, the pattern where electrical meshes shine.
+std::vector<std::vector<Op>> build_pipeline(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  for (int it = 0; it < p.iterations * 2; ++it) {
+    for (int c = 0; c < n; ++c) {
+      const int upstream = (c + n - 1) % n;
+      // Consume the upstream stage's previous block...
+      for (int k = 0; k < p.lines_per_core / 2; ++k) {
+        b.load(c, homed_line(kShared, upstream, n, (it % 2) * 64 + k));
+        b.compute(c, static_cast<std::uint64_t>(p.compute_per_line));
+      }
+      // ...and produce this stage's next block.
+      for (int k = 0; k < p.lines_per_core / 2; ++k) {
+        b.store(c, homed_line(kShared, c, n, ((it + 1) % 2) * 64 + k));
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+// GUPS-like random access: every core scatters single-line updates across a
+// large shared table — maximal network+memory pressure, no reuse.
+std::vector<std::vector<Op>> build_randacc(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  Rng rng(p.seed ^ 0xabcdef);
+  const std::uint64_t table_lines =
+      static_cast<std::uint64_t>(n) * p.lines_per_core * 16;
+  for (int it = 0; it < p.iterations; ++it) {
+    for (int c = 0; c < n; ++c) {
+      for (int k = 0; k < p.lines_per_core; ++k) {
+        const std::uint64_t line = kShared + rng.next_below(table_lines);
+        b.load(c, line);
+        b.compute(c, 1);
+        b.store(c, line);
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+std::vector<std::vector<Op>> build_stream(const AppParams& p) {
+  Builder b(p);
+  const int n = p.cores;
+  // Working set far beyond L1: k keeps growing so every access misses.
+  for (int it = 0; it < p.iterations; ++it) {
+    for (int c = 0; c < n; ++c) {
+      for (int k = 0; k < p.lines_per_core; ++k) {
+        const int idx = it * p.lines_per_core + k;
+        b.load(c, homed_line(kPrivate, c, n, idx));
+        b.compute(c, 1);
+        b.store(c, homed_line(kPrivate, c, n, 1000000 + idx));
+      }
+    }
+    b.barrier_all();
+  }
+  return b.finish();
+}
+
+}  // namespace
+
+std::vector<std::string> app_names() {
+  return {"jacobi", "fft", "lu", "sort",
+          "barnes", "stream", "reduce", "pipeline", "randacc"};
+}
+
+std::vector<std::vector<Op>> build_app(const AppParams& p) {
+  if (p.cores < 2) throw std::invalid_argument("build_app: cores must be >= 2");
+  if (p.lines_per_core < 1 || p.iterations < 1) {
+    throw std::invalid_argument("build_app: non-positive size");
+  }
+  if (p.name == "jacobi") return build_jacobi(p);
+  if (p.name == "fft") return build_fft(p);
+  if (p.name == "lu") return build_lu(p);
+  if (p.name == "sort") return build_sort(p);
+  if (p.name == "barnes") return build_barnes(p);
+  if (p.name == "stream") return build_stream(p);
+  if (p.name == "reduce") return build_reduce(p);
+  if (p.name == "pipeline") return build_pipeline(p);
+  if (p.name == "randacc") return build_randacc(p);
+  throw std::invalid_argument("build_app: unknown app " + p.name);
+}
+
+std::uint64_t count_accesses(const std::vector<std::vector<Op>>& app) {
+  std::uint64_t n = 0;
+  for (const auto& stream : app) {
+    for (const auto& op : stream) {
+      if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace sctm::fullsys

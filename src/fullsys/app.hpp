@@ -1,0 +1,60 @@
+// Parallel application kernels — the "real workload" substitute.
+//
+// Each kernel materializes a deterministic per-core operation stream whose
+// sharing and communication pattern mirrors a SPLASH-2-era workload class:
+//
+//   jacobi  nearest-neighbor stencil: boundary exchange with ring neighbors
+//   fft     butterfly: stage s exchanges with partner (core XOR 2^s)
+//   lu      panel broadcast: per step, one owner writes, all others read
+//   sort    sample-sort all-to-all exchange
+//   barnes  irregular reads concentrated on a shared tree top (Zipf-ish)
+//   stream  private streaming (memory-bound, no sharing)
+//
+// Line-number construction controls homing: line = node + k * node_count is
+// homed at `node` under the modulo-interleaved home map, so "core c's block"
+// means lines homed at c's bank. Regions are disjoint per array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sctm::fullsys {
+
+enum class OpKind : std::uint8_t {
+  kCompute,  // arg = cycles
+  kLoad,     // arg = line number
+  kStore,    // arg = line number
+  kBarrier,
+  kDone,
+};
+
+struct Op {
+  OpKind kind = OpKind::kDone;
+  std::uint64_t arg = 0;
+};
+
+struct AppParams {
+  std::string name = "jacobi";
+  int cores = 16;
+  /// Scales per-phase problem size (lines touched per core per iteration).
+  int lines_per_core = 32;
+  int iterations = 4;
+  /// Cycles of compute inserted per touched line.
+  int compute_per_line = 8;
+  /// Deterministic seed for the irregular kernels.
+  std::uint64_t seed = 1;
+};
+
+/// Names accepted by build_app().
+std::vector<std::string> app_names();
+
+/// Builds the per-core op streams. Throws std::invalid_argument on an
+/// unknown name or non-positive sizes. Every stream ends with kBarrier +
+/// kDone so all cores finish together (app runtime = last barrier release).
+std::vector<std::vector<Op>> build_app(const AppParams& params);
+
+/// Total loads+stores across all cores of a built app (test/report helper).
+std::uint64_t count_accesses(const std::vector<std::vector<Op>>& app);
+
+}  // namespace sctm::fullsys

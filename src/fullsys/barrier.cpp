@@ -1,0 +1,38 @@
+#include "fullsys/barrier.hpp"
+
+#include <stdexcept>
+
+namespace sctm::fullsys {
+
+BarrierManager::BarrierManager(Simulator& sim, std::string name, NodeId home,
+                               int cores, Cycle release_latency,
+                               Fabric& fabric)
+    : Component(sim, std::move(name)),
+      home_(home),
+      cores_(cores),
+      release_latency_(release_latency),
+      fabric_(fabric),
+      arrived_(static_cast<std::size_t>(cores), false),
+      stat_epochs_(counter("epochs")) {}
+
+void BarrierManager::on_arrive(NodeId src, MsgId msg_id) {
+  if (arrived_[static_cast<std::size_t>(src)]) {
+    throw std::logic_error(name() + ": double barrier arrival from core " +
+                           std::to_string(src));
+  }
+  arrived_[static_cast<std::size_t>(src)] = true;
+  arrivals_.push_back(msg_id);
+  if (static_cast<int>(arrivals_.size()) < cores_) return;
+
+  ++stat_epochs_;
+  const std::vector<MsgId> causes = arrivals_;
+  arrivals_.clear();
+  arrived_.assign(arrived_.size(), false);
+  sim().schedule_in(release_latency_, [this, causes] {
+    for (NodeId c = 0; c < cores_; ++c) {
+      fabric_.send(ProtoMsg::kBarRelease, home_, c, 0, causes);
+    }
+  });
+}
+
+}  // namespace sctm::fullsys

@@ -1,0 +1,100 @@
+#include "fullsys/cache.hpp"
+
+#include <stdexcept>
+
+namespace sctm::fullsys {
+
+Cache::Cache(int sets, int ways) : sets_(sets), ways_(ways) {
+  if (sets < 1 || (sets & (sets - 1)) != 0) {
+    throw std::invalid_argument("Cache: sets must be a power of two");
+  }
+  if (ways < 1) throw std::invalid_argument("Cache: ways must be >= 1");
+  ways_storage_.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+Cache::Way* Cache::find(std::uint64_t line_no) {
+  const int s = set_of(line_no);
+  for (int w = 0; w < ways_; ++w) {
+    auto& way = ways_storage_[static_cast<std::size_t>(s) * ways_ + w];
+    if (way.state != LineState::kI && way.line_no == line_no) return &way;
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(std::uint64_t line_no) const {
+  return const_cast<Cache*>(this)->find(line_no);
+}
+
+LineState Cache::probe(std::uint64_t line_no) const {
+  const Way* w = find(line_no);
+  return w ? w->state : LineState::kI;
+}
+
+LineState Cache::lookup(std::uint64_t line_no) {
+  Way* w = find(line_no);
+  if (!w) {
+    ++misses_;
+    return LineState::kI;
+  }
+  ++hits_;
+  w->lru = ++stamp_;
+  return w->state;
+}
+
+std::optional<Cache::Line> Cache::victim_for(std::uint64_t line_no) const {
+  const int s = set_of(line_no);
+  const Way* lru = nullptr;
+  for (int w = 0; w < ways_; ++w) {
+    const auto& way = ways_storage_[static_cast<std::size_t>(s) * ways_ + w];
+    if (way.state == LineState::kI) return std::nullopt;  // free way
+    if (way.line_no == line_no) return std::nullopt;      // update in place
+    if (!lru || way.lru < lru->lru) lru = &way;
+  }
+  return Line{lru->line_no, lru->state};
+}
+
+std::optional<Cache::Line> Cache::insert(std::uint64_t line_no,
+                                         LineState state) {
+  if (state == LineState::kI) {
+    throw std::invalid_argument("Cache: cannot insert an invalid line");
+  }
+  const int s = set_of(line_no);
+  Way* target = nullptr;
+  Way* lru = nullptr;
+  for (int w = 0; w < ways_; ++w) {
+    auto& way = ways_storage_[static_cast<std::size_t>(s) * ways_ + w];
+    if (way.state != LineState::kI && way.line_no == line_no) {
+      way.state = state;
+      way.lru = ++stamp_;
+      return std::nullopt;
+    }
+    if (way.state == LineState::kI && !target) target = &way;
+    if (!lru || way.lru < lru->lru) lru = &way;
+  }
+  std::optional<Line> evicted;
+  if (!target) {
+    target = lru;
+    evicted = Line{target->line_no, target->state};
+  }
+  target->line_no = line_no;
+  target->state = state;
+  target->lru = ++stamp_;
+  return evicted;
+}
+
+bool Cache::set_state(std::uint64_t line_no, LineState state) {
+  Way* w = find(line_no);
+  if (!w) return false;
+  if (state == LineState::kI) {
+    w->state = LineState::kI;
+    return true;
+  }
+  w->state = state;
+  return true;
+}
+
+bool Cache::invalidate(std::uint64_t line_no) {
+  return set_state(line_no, LineState::kI);
+}
+
+}  // namespace sctm::fullsys

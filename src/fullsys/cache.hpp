@@ -1,0 +1,83 @@
+// Set-associative LRU cache (tag/state only — dataless).
+//
+// Used for private L1s (states I/S/M) and for the L2 banks' data-presence
+// array (states I/S). Lines are identified by line number (address >> 6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sctm::fullsys {
+
+enum class LineState : std::uint8_t { kI = 0, kS, kM };
+
+class Cache {
+ public:
+  /// `sets` must be a power of two; capacity = sets * ways lines.
+  Cache(int sets, int ways);
+
+  struct Line {
+    std::uint64_t line_no = 0;
+    LineState state = LineState::kI;
+  };
+
+  /// State of `line_no` (kI when absent). Does not touch LRU.
+  LineState probe(std::uint64_t line_no) const;
+
+  /// Lookup that promotes the line to MRU on hit.
+  LineState lookup(std::uint64_t line_no);
+
+  /// Chooses the victim an insert of `line_no` would evict: the LRU line of
+  /// the set, or nullopt if a free (or same-line) way exists.
+  std::optional<Line> victim_for(std::uint64_t line_no) const;
+
+  /// Inserts (or updates) `line_no` with `state` as MRU. Returns the evicted
+  /// line if any (never the inserted line itself).
+  std::optional<Line> insert(std::uint64_t line_no, LineState state);
+
+  /// Downgrades/updates state in place; false when absent.
+  bool set_state(std::uint64_t line_no, LineState state);
+
+  /// Removes the line; false when absent.
+  bool invalidate(std::uint64_t line_no);
+
+  int sets() const { return sets_; }
+  int ways() const { return ways_; }
+  std::uint64_t capacity_lines() const {
+    return static_cast<std::uint64_t>(sets_) * static_cast<std::uint64_t>(ways_);
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// Calls `fn(line_no, state)` for every valid line (audit/debug).
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const auto& way : ways_storage_) {
+      if (way.state != LineState::kI) fn(way.line_no, way.state);
+    }
+  }
+
+ private:
+  struct Way {
+    std::uint64_t line_no = 0;
+    LineState state = LineState::kI;
+    std::uint64_t lru = 0;  // last-touch stamp
+  };
+
+  int set_of(std::uint64_t line_no) const {
+    return static_cast<int>(line_no & (static_cast<std::uint64_t>(sets_) - 1));
+  }
+  Way* find(std::uint64_t line_no);
+  const Way* find(std::uint64_t line_no) const;
+
+  int sets_;
+  int ways_;
+  std::vector<Way> ways_storage_;  // [set * ways + way]
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sctm::fullsys

@@ -1,0 +1,81 @@
+// In-order core with a private L1 and blocking misses.
+//
+// The core consumes its op stream, folding consecutive hits and computes
+// into a single scheduled event (idle-cheap). A load/store miss issues one
+// outstanding transaction (MSHR = 1) and blocks until the reply; a barrier
+// blocks until release. Dirty victims write back *before* the demand request
+// leaves (PutM -> WbAck -> GetS/GetM), which closes most writeback races;
+// the line is marked invalid the moment PutM leaves, so a crossing Recall is
+// answered with RecallStale and the directory resolves the rest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fullsys/app.hpp"
+#include "fullsys/cache.hpp"
+#include "fullsys/fabric.hpp"
+#include "fullsys/params.hpp"
+#include "sim/component.hpp"
+
+namespace sctm::fullsys {
+
+class Core : public Component {
+ public:
+  Core(Simulator& sim, std::string name, NodeId id, std::vector<Op> stream,
+       const FullSysParams& params, Fabric& fabric);
+
+  /// Schedules the first step. Call once before running the simulation.
+  void start();
+
+  /// Protocol messages addressed to this core (Data/DataM/WbAck/Inv/Recall/
+  /// BarRelease). `msg_id` identifies the arrival for causal chaining.
+  void on_message(ProtoMsg type, std::uint64_t line, MsgId msg_id);
+
+  bool done() const { return done_; }
+  Cycle finish_time() const { return finish_time_; }
+
+  std::uint64_t l1_hits() const { return l1_.hits(); }
+  std::uint64_t l1_misses() const { return l1_.misses(); }
+  const Cache& l1() const { return l1_; }
+
+ private:
+  enum class Blocked : std::uint8_t {
+    kNone,
+    kWriteback,  // waiting WbAck before issuing the demand request
+    kMiss,       // waiting Data/DataM
+    kBarrier,    // waiting BarRelease
+  };
+
+  void step();
+  void issue_miss();
+
+  NodeId id_;
+  std::vector<Op> stream_;
+  std::size_t pc_ = 0;
+  FullSysParams params_;
+  Fabric& fabric_;
+  Cache l1_;
+
+  Blocked blocked_ = Blocked::kNone;
+  std::uint64_t miss_line_ = 0;
+  bool miss_is_write_ = false;
+  /// kPerCycle mode: cycles left in the compute op being interpreted.
+  Cycle compute_remaining_ = 0;
+
+  /// Arrival that most recently unblocked this core (causal parent of the
+  /// next send); kInvalidMsg before the first unblock.
+  MsgId last_unblock_ = kInvalidMsg;
+
+
+  bool done_ = false;
+  Cycle finish_time_ = kNoCycle;
+
+  std::uint64_t& stat_loads_;
+  std::uint64_t& stat_stores_;
+  std::uint64_t& stat_writebacks_;
+  std::uint64_t& stat_barriers_;
+};
+
+}  // namespace sctm::fullsys

@@ -1,0 +1,35 @@
+// Interface the CMP endpoints (cores, banks, memory controllers, barrier)
+// use to send protocol messages, with causal annotation.
+//
+// `causes` lists the MsgIds of the arrivals at this node that gate the send
+// (usually one: the message being answered; several for fan-in points like
+// barrier release or invalidation-ack collection). The implementation
+// (CmpSystem) turns causes into dependency records for trace capture: each
+// dependency's slack is send_time - cause_arrival_time, i.e. the endpoint
+// processing/compute time, which trace replay treats as fixed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fullsys/protocol.hpp"
+
+namespace sctm::fullsys {
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Sends a protocol message now; returns its MsgId.
+  virtual MsgId send(ProtoMsg type, NodeId src, NodeId dst, std::uint64_t line,
+                     const std::vector<MsgId>& causes) = 0;
+
+  /// Home bank of a line (modulo interleave).
+  virtual NodeId home_of(std::uint64_t line) const = 0;
+
+  /// Memory controller serving a line.
+  virtual NodeId mc_for(std::uint64_t line) const = 0;
+};
+
+}  // namespace sctm::fullsys

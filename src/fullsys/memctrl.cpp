@@ -1,0 +1,41 @@
+#include "fullsys/memctrl.hpp"
+
+#include <stdexcept>
+
+namespace sctm::fullsys {
+
+MemCtrl::MemCtrl(Simulator& sim, std::string name, NodeId id,
+                 const FullSysParams& params, Fabric& fabric)
+    : Component(sim, std::move(name)),
+      id_(id),
+      params_(params),
+      fabric_(fabric),
+      stat_reads_(counter("reads")),
+      stat_writes_(counter("writes")),
+      stat_queue_wait_(accumulator("queue_wait")) {}
+
+void MemCtrl::on_message(ProtoMsg type, NodeId src, std::uint64_t line,
+                         MsgId msg_id) {
+  const Cycle slot = next_slot_ > now() ? next_slot_ : now();
+  next_slot_ = slot + params_.mem_gap;
+  stat_queue_wait_.add(static_cast<double>(slot - now()));
+
+  switch (type) {
+    case ProtoMsg::kMemRead: {
+      ++stat_reads_;
+      const Cycle reply_at = slot + params_.mem_latency;
+      sim().schedule_at(reply_at, [this, src, line, msg_id] {
+        fabric_.send(ProtoMsg::kMemData, id_, src, line, {msg_id});
+      });
+      return;
+    }
+    case ProtoMsg::kMemWrite:
+      ++stat_writes_;
+      return;  // posted write, no reply
+    default:
+      throw std::logic_error(name() + ": unexpected message " +
+                             std::string(to_string(type)));
+  }
+}
+
+}  // namespace sctm::fullsys

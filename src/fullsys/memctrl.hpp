@@ -1,0 +1,36 @@
+// Memory controller: fixed DRAM latency behind a bandwidth-limited FIFO.
+//
+// One request is accepted every `mem_gap` cycles; a read's reply (MemData)
+// leaves `mem_latency` cycles after its service slot. Writes (evicted dirty
+// data) consume a slot but need no reply. Queueing delay under contention is
+// therefore modeled, which matters for the memory-bound `stream` kernel.
+#pragma once
+
+#include "fullsys/fabric.hpp"
+#include "fullsys/params.hpp"
+#include "sim/component.hpp"
+
+namespace sctm::fullsys {
+
+class MemCtrl : public Component {
+ public:
+  MemCtrl(Simulator& sim, std::string name, NodeId id,
+          const FullSysParams& params, Fabric& fabric);
+
+  void on_message(ProtoMsg type, NodeId src, std::uint64_t line, MsgId msg_id);
+
+  std::uint64_t reads() const { return stat_reads_; }
+  std::uint64_t writes() const { return stat_writes_; }
+
+ private:
+  NodeId id_;
+  FullSysParams params_;
+  Fabric& fabric_;
+  Cycle next_slot_ = 0;
+
+  std::uint64_t& stat_reads_;
+  std::uint64_t& stat_writes_;
+  Accumulator& stat_queue_wait_;
+};
+
+}  // namespace sctm::fullsys

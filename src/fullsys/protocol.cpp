@@ -1,0 +1,28 @@
+#include "fullsys/protocol.hpp"
+
+namespace sctm::fullsys {
+
+const char* to_string(ProtoMsg t) {
+  switch (t) {
+    case ProtoMsg::kGetS: return "GetS";
+    case ProtoMsg::kGetM: return "GetM";
+    case ProtoMsg::kPutM: return "PutM";
+    case ProtoMsg::kWbAck: return "WbAck";
+    case ProtoMsg::kData: return "Data";
+    case ProtoMsg::kDataM: return "DataM";
+    case ProtoMsg::kInv: return "Inv";
+    case ProtoMsg::kInvAck: return "InvAck";
+    case ProtoMsg::kRecall: return "Recall";
+    case ProtoMsg::kRecallData: return "RecallData";
+    case ProtoMsg::kRecallStale: return "RecallStale";
+    case ProtoMsg::kMemRead: return "MemRead";
+    case ProtoMsg::kMemWrite: return "MemWrite";
+    case ProtoMsg::kMemData: return "MemData";
+    case ProtoMsg::kBarArrive: return "BarArrive";
+    case ProtoMsg::kBarRelease: return "BarRelease";
+    case ProtoMsg::kUnblock: return "Unblock";
+  }
+  return "?";
+}
+
+}  // namespace sctm::fullsys

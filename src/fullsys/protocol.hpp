@@ -1,0 +1,106 @@
+// Coherence protocol message vocabulary and tag encoding.
+//
+// The CMP substrate speaks a dataless MSI protocol (no data values are
+// simulated — only the message traffic and its timing, which is what the NoC
+// sees). Messages ride noc::Message with the protocol type and transaction
+// id packed into the 64-bit tag.
+//
+// Protocol sketch (blocking directory, one transaction per line at a time):
+//   core L1 miss  -> GetS/GetM to the line's home bank
+//   home          -> Data/DataM reply (after memory fetch, recall of a dirty
+//                    owner, or invalidation of sharers, as required)
+//   L1 M-eviction -> PutM (with data) to home, WbAck back; the evicting core
+//                    holds the victim until WbAck (removes the PutM/Recall
+//                    in-flight race except for the crossing case, which the
+//                    directory resolves by treating the PutM as recall data
+//                    and dropping the subsequent RecallStale)
+//   barrier       -> BarArrive to the barrier home node; BarRelease fan-out
+#pragma once
+
+#include <cstdint>
+
+#include "noc/message.hpp"
+
+namespace sctm::fullsys {
+
+enum class ProtoMsg : std::uint8_t {
+  kGetS = 1,        // read request, core -> home
+  kGetM,            // write request, core -> home
+  kPutM,            // dirty writeback (data), core -> home
+  kWbAck,           // writeback acknowledgement, home -> core
+  kData,            // read data reply, home -> core
+  kDataM,           // data + ownership reply, home -> core
+  kInv,             // invalidate, home -> sharer
+  kInvAck,          // invalidation acknowledgement, sharer -> home
+  kRecall,          // recall dirty line, home -> owner
+  kRecallData,      // recalled data, owner -> home
+  kRecallStale,     // owner no longer has the line (PutM crossed), -> home
+  kMemRead,         // home -> memory controller
+  kMemWrite,        // home -> memory controller (evicted dirty data)
+  kMemData,         // memory controller -> home
+  kBarArrive,       // core -> barrier home
+  kBarRelease,      // barrier home -> core
+  kUnblock,         // core -> home: data received, finish the transaction.
+                    // The directory stays busy until this confirmation, so a
+                    // follow-up Inv/Recall can never overtake the data grant
+                    // it chases (GEMS-style three-hop closure).
+};
+
+const char* to_string(ProtoMsg t);
+
+/// Wire sizes (payload bytes; the NoC adds its own header).
+inline constexpr std::uint32_t kCtrlBytes = 8;
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/// Does this message carry a full cache line?
+constexpr bool carries_data(ProtoMsg t) {
+  return t == ProtoMsg::kPutM || t == ProtoMsg::kData ||
+         t == ProtoMsg::kDataM || t == ProtoMsg::kRecallData ||
+         t == ProtoMsg::kMemData || t == ProtoMsg::kMemWrite;
+}
+
+constexpr std::uint32_t size_of(ProtoMsg t) {
+  return carries_data(t) ? kLineBytes : kCtrlBytes;
+}
+
+/// Message class mapping (vnet assignment): requests and forwarded requests
+/// on the request class; replies/data on the reply classes.
+constexpr noc::MsgClass class_of(ProtoMsg t) {
+  switch (t) {
+    case ProtoMsg::kGetS:
+    case ProtoMsg::kGetM:
+    case ProtoMsg::kPutM:
+    case ProtoMsg::kInv:
+    case ProtoMsg::kRecall:
+    case ProtoMsg::kMemRead:
+    case ProtoMsg::kMemWrite:
+    case ProtoMsg::kBarArrive:
+      return noc::MsgClass::kRequest;
+    case ProtoMsg::kData:
+    case ProtoMsg::kDataM:
+    case ProtoMsg::kRecallData:
+    case ProtoMsg::kMemData:
+      return noc::MsgClass::kData;
+    case ProtoMsg::kWbAck:
+    case ProtoMsg::kInvAck:
+    case ProtoMsg::kRecallStale:
+    case ProtoMsg::kBarRelease:
+    case ProtoMsg::kUnblock:
+      return noc::MsgClass::kReply;
+  }
+  return noc::MsgClass::kRequest;
+}
+
+/// Tag layout: [63:56] ProtoMsg, [55:0] line address >> 6 (line number).
+constexpr std::uint64_t encode_tag(ProtoMsg t, std::uint64_t line) {
+  return (static_cast<std::uint64_t>(t) << 56) |
+         (line & ((std::uint64_t{1} << 56) - 1));
+}
+constexpr ProtoMsg tag_type(std::uint64_t tag) {
+  return static_cast<ProtoMsg>(tag >> 56);
+}
+constexpr std::uint64_t tag_line(std::uint64_t tag) {
+  return tag & ((std::uint64_t{1} << 56) - 1);
+}
+
+}  // namespace sctm::fullsys

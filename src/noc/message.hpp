@@ -1,0 +1,57 @@
+// Network-visible message: the unit the full-system layer, trace layer and
+// both network simulators exchange. Flit segmentation is an electrical-NoC
+// implementation detail and lives in src/enoc.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace sctm::noc {
+
+/// Message class; networks may prioritize or route classes differently and
+/// the coherence layer relies on request/reply separation for deadlock
+/// avoidance (two virtual networks).
+enum class MsgClass : std::uint8_t {
+  kRequest = 0,   // coherence/memory requests (short, latency-critical)
+  kReply,         // control replies / acks (short)
+  kData,          // cache-line or bulk data (long)
+  kControl,       // network-internal control (path setup etc.)
+};
+
+inline constexpr int kMsgClassCount = 4;
+
+constexpr std::string_view to_string(MsgClass c) {
+  switch (c) {
+    case MsgClass::kRequest: return "request";
+    case MsgClass::kReply: return "reply";
+    case MsgClass::kData: return "data";
+    case MsgClass::kControl: return "control";
+  }
+  return "?";
+}
+
+struct Message {
+  MsgId id = kInvalidMsg;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t size_bytes = 0;
+  MsgClass cls = MsgClass::kRequest;
+
+  /// Filled by the network layer.
+  Cycle inject_time = kNoCycle;  // when inject() accepted the message
+  Cycle arrive_time = kNoCycle;  // when the tail arrived at dst
+
+  /// Opaque tag threaded through for upper layers (full-system transaction
+  /// ids, trace record ids). The network never interprets it.
+  std::uint64_t tag = 0;
+
+  Cycle latency() const {
+    return (arrive_time == kNoCycle || inject_time == kNoCycle)
+               ? kNoCycle
+               : arrive_time - inject_time;
+  }
+};
+
+}  // namespace sctm::noc

@@ -1,0 +1,91 @@
+// Abstract network interface + an ideal (contention-free) reference network.
+//
+// Everything above the network (full-system engine, trace replay, traffic
+// generators) talks to this interface, so the electrical baseline, the ONOC
+// and the ideal model are interchangeable per experiment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "noc/message.hpp"
+#include "noc/topology.hpp"
+#include "sim/component.hpp"
+
+namespace sctm::noc {
+
+class Network : public Component {
+ public:
+  using DeliverFn = std::function<void(const Message&)>;
+
+  Network(Simulator& sim, std::string name, int node_count)
+      : Component(sim, std::move(name)), node_count_(node_count) {}
+
+  /// Hands a message to the network at sim().now(). The network owns the
+  /// copy until delivery; `inject_time`/`arrive_time` are filled here and at
+  /// delivery respectively. Networks are lossless: every injected message is
+  /// eventually delivered (tests assert this).
+  virtual void inject(Message msg) = 0;
+
+  /// Called once per delivered message, at arrival time.
+  void set_deliver_callback(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  int node_count() const { return node_count_; }
+
+  /// True when no message is in flight (used by drivers to detect drain).
+  virtual bool idle() const = 0;
+
+  std::uint64_t injected_count() const { return injected_; }
+  std::uint64_t delivered_count() const { return delivered_; }
+  const Histogram& latency_histogram() const { return latency_; }
+
+  /// Per-class latency view (request/reply/data/control).
+  const Histogram& latency_histogram(MsgClass cls) const {
+    return latency_by_class_[static_cast<int>(cls)];
+  }
+
+ protected:
+  /// Subclasses call this at arrival time; it stamps arrive_time, records
+  /// latency and invokes the delivery callback.
+  void deliver(Message msg);
+
+  void note_injected(Message& msg);
+
+ private:
+  int node_count_;
+  DeliverFn deliver_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  Histogram latency_;
+  Histogram latency_by_class_[kMsgClassCount];
+};
+
+/// Contention-free network: latency = base + per_hop * distance +
+/// size/bandwidth. Useful as a ground-truth in unit tests and as the
+/// "infinite bandwidth" limit in sweeps.
+class IdealNetwork final : public Network {
+ public:
+  struct Params {
+    Cycle base_latency = 2;        // fixed overhead (cycles)
+    Cycle per_hop_latency = 1;     // per topological hop
+    double bytes_per_cycle = 16;   // serialization bandwidth
+  };
+
+  IdealNetwork(Simulator& sim, std::string name, const Topology& topo,
+               const Params& params);
+
+  void inject(Message msg) override;
+  bool idle() const override { return in_flight_ == 0; }
+
+  /// Deterministic latency this model assigns to a message.
+  Cycle model_latency(const Message& msg) const;
+
+ private:
+  Topology topo_;
+  Params params_;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace sctm::noc

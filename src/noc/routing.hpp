@@ -1,0 +1,43 @@
+// Routing functions.
+//
+// A routing function maps (source, current node, destination) to the set of
+// *admissible* output ports; the router picks among candidates using local
+// congestion state (free credits). Determinism: candidates are returned in a
+// fixed preference order, and a router with no better information takes the
+// first.
+//
+// Deadlock freedom: XY and YX are dimension-ordered (cyclic turn sequences
+// are impossible); odd-even restricts turns per Chiu's odd-even rules (needs
+// the packet's source column, hence the src parameter); torus DOR and ring
+// shortest-path rely on the router's dateline VC discipline (see
+// enoc::Router).
+#pragma once
+
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace sctm::noc {
+
+enum class RoutingAlgo { kXY, kYX, kOddEven, kRingShortest, kTorusDor };
+
+/// Admissible output ports (directional indices; never the local port — the
+/// caller ejects when cur == dst). Empty result is a contract violation and
+/// throws std::logic_error.
+std::vector<int> route_candidates(const Topology& topo, RoutingAlgo algo,
+                                  NodeId src, NodeId cur, NodeId dst);
+
+/// First candidate — the deterministic route used by oblivious routers.
+int route_first(const Topology& topo, RoutingAlgo algo, NodeId src, NodeId cur,
+                NodeId dst);
+
+/// Checks that `algo` is usable on `topo` (e.g. kXY requires a mesh).
+bool compatible(const Topology& topo, RoutingAlgo algo);
+
+/// Default algorithm for a topology (XY on mesh, DOR on torus, shortest on
+/// ring).
+RoutingAlgo default_algo(const Topology& topo);
+
+const char* to_string(RoutingAlgo algo);
+
+}  // namespace sctm::noc

@@ -1,0 +1,111 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sctm::noc {
+
+Topology::Topology(Kind kind, int width, int height)
+    : kind_(kind), width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Topology: non-positive dimension");
+  }
+}
+
+Topology Topology::mesh(int width, int height) {
+  return Topology(Kind::kMesh, width, height);
+}
+
+Topology Topology::torus(int width, int height) {
+  return Topology(Kind::kTorus, width, height);
+}
+
+Topology Topology::ring(int nodes) {
+  if (nodes < 2) throw std::invalid_argument("Topology: ring needs >= 2 nodes");
+  return Topology(Kind::kRing, nodes, 1);
+}
+
+int Topology::radix() const { return kind_ == Kind::kRing ? 2 : 4; }
+
+Coord Topology::coords(NodeId n) const {
+  return Coord{static_cast<int>(n) % width_, static_cast<int>(n) / width_};
+}
+
+NodeId Topology::node_at(Coord c) const { return c.y * width_ + c.x; }
+
+NodeId Topology::neighbor(NodeId n, int dir) const {
+  if (!valid_node(n) || dir < 0 || dir >= radix()) return kInvalidNode;
+  if (kind_ == Kind::kRing) {
+    const int count = node_count();
+    return dir == kRingCw ? (n + 1) % count : (n + count - 1) % count;
+  }
+  Coord c = coords(n);
+  switch (dir) {
+    case kEast: c.x += 1; break;
+    case kWest: c.x -= 1; break;
+    case kNorth: c.y -= 1; break;
+    case kSouth: c.y += 1; break;
+    default: return kInvalidNode;
+  }
+  if (kind_ == Kind::kTorus) {
+    c.x = (c.x + width_) % width_;
+    c.y = (c.y + height_) % height_;
+  } else if (c.x < 0 || c.x >= width_ || c.y < 0 || c.y >= height_) {
+    return kInvalidNode;
+  }
+  return node_at(c);
+}
+
+int Topology::opposite(int dir) {
+  switch (dir) {
+    case kEast: return kWest;
+    case kWest: return kEast;
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    default: return -1;
+  }
+}
+
+int Topology::distance(NodeId a, NodeId b) const {
+  if (kind_ == Kind::kRing) {
+    const int count = node_count();
+    const int fwd = (static_cast<int>(b) - a + count) % count;
+    return std::min(fwd, count - fwd);
+  }
+  const Coord ca = coords(a);
+  const Coord cb = coords(b);
+  int dx = std::abs(ca.x - cb.x);
+  int dy = std::abs(ca.y - cb.y);
+  if (kind_ == Kind::kTorus) {
+    dx = std::min(dx, width_ - dx);
+    dy = std::min(dy, height_ - dy);
+  }
+  return dx + dy;
+}
+
+double Topology::mean_distance() const {
+  const int n = node_count();
+  std::uint64_t total = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) total += static_cast<std::uint64_t>(distance(a, b));
+    }
+  }
+  const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1);
+  return pairs ? static_cast<double>(total) / static_cast<double>(pairs) : 0.0;
+}
+
+std::string Topology::describe() const {
+  switch (kind_) {
+    case Kind::kMesh:
+      return "mesh " + std::to_string(width_) + "x" + std::to_string(height_);
+    case Kind::kTorus:
+      return "torus " + std::to_string(width_) + "x" + std::to_string(height_);
+    case Kind::kRing:
+      return "ring " + std::to_string(node_count());
+  }
+  return "?";
+}
+
+}  // namespace sctm::noc

@@ -1,0 +1,79 @@
+// Regular topologies: 2D mesh, 2D torus, ring.
+//
+// Port numbering is uniform across topologies so routers and routing
+// functions stay topology-agnostic: directional ports first (kEast..kSouth,
+// or the two ring directions), then one local port at index radix().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sctm::noc {
+
+enum Dir : int {
+  kEast = 0,
+  kWest = 1,
+  kNorth = 2,
+  kSouth = 3,
+  // Ring aliases: clockwise (next node) / counter-clockwise.
+  kRingCw = 0,
+  kRingCcw = 1,
+};
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+class Topology {
+ public:
+  enum class Kind { kMesh, kTorus, kRing };
+
+  static Topology mesh(int width, int height);
+  static Topology torus(int width, int height);
+  static Topology ring(int nodes);
+
+  Kind kind() const { return kind_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int node_count() const { return width_ * height_; }
+
+  /// Directional ports per router (4 for mesh/torus, 2 for ring).
+  int radix() const;
+  /// Index of the local (ejection/injection) port.
+  int local_port() const { return radix(); }
+  /// Total ports per router including local.
+  int port_count() const { return radix() + 1; }
+
+  Coord coords(NodeId n) const;
+  NodeId node_at(Coord c) const;
+  bool valid_node(NodeId n) const { return n >= 0 && n < node_count(); }
+
+  /// Neighbor through directional port `dir`; kInvalidNode at a mesh edge.
+  NodeId neighbor(NodeId n, int dir) const;
+
+  /// Port on the neighbor that a flit leaving `n` through `dir` arrives on
+  /// (the opposite direction).
+  static int opposite(int dir);
+
+  /// Minimal hop count between two nodes under this topology.
+  int distance(NodeId a, NodeId b) const;
+
+  /// Average minimal distance over all src!=dst pairs (analytical checks).
+  double mean_distance() const;
+
+  std::string describe() const;
+
+ private:
+  Topology(Kind kind, int width, int height);
+
+  Kind kind_;
+  int width_;
+  int height_;
+};
+
+}  // namespace sctm::noc

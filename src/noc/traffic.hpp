@@ -1,0 +1,90 @@
+// Synthetic traffic generation (open-loop) for network characterization.
+//
+// Standard patterns from the NoC literature. The generator injects packets
+// with Bernoulli arrivals at a configured rate, runs a warmup window whose
+// packets are excluded from statistics, then a measurement window, and can
+// drain the network before reporting. Used by R-F2 (load-vs-error) and R-F5
+// (ONOC vs ENoC load-latency curves).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "noc/topology.hpp"
+
+namespace sctm::noc {
+
+enum class TrafficPattern {
+  kUniform,        // uniform random destination
+  kTranspose,      // (x,y) -> (y,x)
+  kBitComplement,  // dst = ~src (mod N)
+  kBitReverse,     // bit-reversed node index
+  kTornado,        // halfway around each dimension
+  kNeighbor,       // +1 in x (nearest neighbor)
+  kHotspot,        // uniform, but a fraction goes to one hot node
+  kShuffle,        // perfect shuffle: rotate node index left by one bit
+  kBitRotate,      // rotate node index right by one bit
+};
+
+const char* to_string(TrafficPattern p);
+
+/// Destination for `src` under pattern `p`. For kUniform/kHotspot the result
+/// is stochastic and drawn from `rng`; otherwise deterministic. Never returns
+/// src (uniform redraws; deterministic patterns that map to self fall back to
+/// uniform).
+NodeId pattern_destination(const Topology& topo, TrafficPattern p, NodeId src,
+                           Rng& rng, NodeId hotspot_node = 0,
+                           double hotspot_fraction = 0.2);
+
+class TrafficGenerator : public Component {
+ public:
+  struct Params {
+    TrafficPattern pattern = TrafficPattern::kUniform;
+    double injection_rate = 0.1;   // packets per node per cycle
+    std::uint32_t packet_bytes = 64;
+    MsgClass cls = MsgClass::kData;
+    Cycle warmup = 1000;
+    Cycle measure = 10000;
+    NodeId hotspot_node = 0;
+    double hotspot_fraction = 0.2;
+    std::uint64_t seed = 1;
+  };
+
+  TrafficGenerator(Simulator& sim, std::string name, Network& net,
+                   const Topology& topo, const Params& params);
+
+  /// Schedules injections for warmup+measure and registers the delivery
+  /// callback on the network. Call once, before sim.run().
+  void start();
+
+  /// Runs the complete experiment: start, simulate through the measurement
+  /// window, then drain (run until idle). Returns executed event count.
+  std::uint64_t run_to_completion();
+
+  // -- results (measurement window only) --
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t measured_delivered() const { return measured_delivered_; }
+  const Histogram& latency() const { return measured_latency_; }
+  /// Delivered packets per node per cycle over the measurement window.
+  double throughput() const;
+
+ private:
+  void on_deliver(const Message& msg);
+  void tick(NodeId node);
+
+  Network& net_;
+  Topology topo_;
+  Params params_;
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t offered_ = 0;
+  std::uint64_t measured_delivered_ = 0;
+  Histogram measured_latency_;
+  Cycle measure_start_ = 0;
+  Cycle measure_end_ = 0;
+};
+
+}  // namespace sctm::noc

@@ -1,0 +1,19 @@
+#include "onoc/devices.hpp"
+
+namespace sctm::onoc {
+
+double time_of_flight_s(double length_cm, const WaveguideParams& wg) {
+  constexpr double kC_cm_per_s = 2.99792458e10;
+  return length_cm * wg.group_index / kC_cm_per_s;
+}
+
+long total_ring_count(int nodes, int channels_per_node, int wavelengths) {
+  // Modulator rings: every node writes every channel (MWSR) -> per node,
+  // (nodes-1) destination channels x wavelengths. Filter rings: each node's
+  // receiver drops its own channel's wavelengths.
+  const long mod = static_cast<long>(nodes) * channels_per_node * wavelengths;
+  const long filt = static_cast<long>(nodes) * wavelengths;
+  return mod + filt;
+}
+
+}  // namespace sctm::onoc

@@ -1,0 +1,47 @@
+// Photonic device models.
+//
+// Parameter defaults are era-typical published constants (Corona/Firefly/
+// FlexiShare generation, ~2008-2012): silicon microring modulators/filters,
+// SOI waveguides, off-chip comb laser. The loss budget (loss.hpp) composes
+// these into a worst-case optical path and a laser power requirement, which
+// is what the power comparison experiments consume.
+#pragma once
+
+namespace sctm::onoc {
+
+struct MicroringParams {
+  double through_loss_db = 0.01;   // per ring passed in the through state
+  double drop_loss_db = 0.5;       // dropping into the receiver
+  double insertion_loss_db = 0.5;  // modulator insertion
+  double heating_uw = 26.0;        // thermal trimming per ring (static)
+  double modulation_fj_per_bit = 50.0;
+  double detection_fj_per_bit = 25.0;
+};
+
+struct WaveguideParams {
+  double propagation_db_per_cm = 1.0;
+  double crossing_loss_db = 0.05;  // per waveguide crossing
+  double bend_loss_db = 0.005;     // per 90-degree bend
+  double coupler_loss_db = 1.0;    // fiber-to-chip coupler (x2 per path)
+  /// Group index of the SOI waveguide (light speed divisor).
+  double group_index = 4.2;
+};
+
+struct PhotodetectorParams {
+  double sensitivity_dbm = -20.0;  // minimum detectable power per lambda
+};
+
+struct LaserParams {
+  double wall_plug_efficiency = 0.3;  // electrical->optical
+  double power_margin_db = 1.0;       // engineering margin on the budget
+};
+
+/// Time of flight in seconds for a waveguide of `length_cm`.
+double time_of_flight_s(double length_cm, const WaveguideParams& wg);
+
+/// Rings needed by a single-writer-per-channel WDM crossbar:
+/// each node carries modulator rings for every wavelength of every channel
+/// it can write, plus filter rings for every wavelength it can receive.
+long total_ring_count(int nodes, int channels_per_node, int wavelengths);
+
+}  // namespace sctm::onoc

@@ -1,0 +1,54 @@
+#include "onoc/hybrid_network.hpp"
+
+namespace sctm::onoc {
+
+HybridNetwork::HybridNetwork(Simulator& sim, std::string name,
+                             const noc::Topology& topo,
+                             const HybridParams& params)
+    : Network(sim, std::move(name), topo.node_count()),
+      topo_(topo),
+      params_(params) {
+  electrical_ = std::make_unique<enoc::EnocNetwork>(
+      sim, this->name() + ".el", topo_, params_.electrical);
+  optical_ = std::make_unique<OnocNetwork>(sim, this->name() + ".op", topo_,
+                                           params_.optical);
+  // Both layers deliver into the hybrid's single delivery stream; latency
+  // accounting happens here so per-class histograms cover both layers.
+  const auto deliver_up = [this](const noc::Message& m) {
+    noc::Message msg = m;
+    msg.arrive_time = kNoCycle;  // deliver() restamps (same cycle)
+    deliver(msg);
+  };
+  electrical_->set_deliver_callback(deliver_up);
+  optical_->set_deliver_callback(deliver_up);
+}
+
+bool HybridNetwork::goes_optical(const noc::Message& msg) const {
+  if (msg.src == msg.dst) return false;  // loopback stays local/electrical
+  if (msg.size_bytes >= params_.size_threshold) return true;
+  return topo_.distance(msg.src, msg.dst) >= params_.distance_threshold;
+}
+
+void HybridNetwork::inject(noc::Message msg) {
+  note_injected(msg);
+  if (goes_optical(msg)) {
+    ++optical_count_;
+    optical_->inject(msg);
+  } else {
+    ++electrical_count_;
+    electrical_->inject(msg);
+  }
+}
+
+bool HybridNetwork::idle() const {
+  return electrical_->idle() && optical_->idle();
+}
+
+double HybridNetwork::optical_fraction() const {
+  const auto total = optical_count_ + electrical_count_;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(optical_count_) / static_cast<double>(total);
+}
+
+}  // namespace sctm::onoc

@@ -1,0 +1,58 @@
+#include "onoc/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace sctm::onoc {
+
+LossBudget compute_loss(const LossBudgetInputs& in) {
+  LossBudget out;
+  out.coupler_db = 2.0 * in.waveguide.coupler_loss_db;  // in and out
+
+  // Serpentine waveguide visiting all nodes: length ~ die edge per row of
+  // sqrt(n) nodes.
+  const double rows = std::ceil(std::sqrt(static_cast<double>(in.nodes)));
+  const double length_cm = rows * in.die_edge_cm;
+  out.propagation_db = length_cm * in.waveguide.propagation_db_per_cm;
+
+  // Worst case passes every other writer's modulator rings in through state
+  // (one ring per wavelength per passed node) and the die's crossings. Only
+  // the rings on the *same waveguide* load the path; wide WDM combs are
+  // split across parallel waveguides.
+  const double passed_nodes = static_cast<double>(in.nodes - 1);
+  const int lambdas_on_guide =
+      std::min(in.wavelengths, std::max(1, in.wavelengths_per_waveguide));
+  out.through_rings_db = passed_nodes *
+                         static_cast<double>(lambdas_on_guide) *
+                         in.ring.through_loss_db;
+  out.crossings_db = rows * in.waveguide.crossing_loss_db;
+  out.insertion_db = in.ring.insertion_loss_db;
+  out.drop_db = in.ring.drop_loss_db;
+  return out;
+}
+
+LaserRequirement compute_laser(const LossBudgetInputs& in) {
+  const LossBudget budget = compute_loss(in);
+  LaserRequirement out;
+  out.per_wavelength_dbm = in.detector.sensitivity_dbm + budget.total_db() +
+                           in.laser.power_margin_db;
+  const double per_lambda_mw = units::dbm_to_mw(out.per_wavelength_dbm);
+  // One wavelength comb per receiving channel (nodes channels, each with
+  // `wavelengths` lambdas).
+  out.total_optical_mw = per_lambda_mw *
+                         static_cast<double>(in.wavelengths) *
+                         static_cast<double>(in.nodes);
+  out.total_electrical_mw =
+      out.total_optical_mw / in.laser.wall_plug_efficiency;
+  out.ring_count = total_ring_count(in.nodes, in.channels_per_node,
+                                    in.wavelengths);
+  out.ring_heating_mw =
+      static_cast<double>(out.ring_count) * in.ring.heating_uw * 1e-3;
+  const double rows = std::ceil(std::sqrt(static_cast<double>(in.nodes)));
+  out.waveguide_length_cm = rows * in.die_edge_cm;
+  return out;
+}
+
+}  // namespace sctm::onoc

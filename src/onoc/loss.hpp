@@ -1,0 +1,59 @@
+// Optical loss budget and laser power requirement.
+//
+// Worst-case path: coupler in, propagate the longest waveguide span, pass
+// every other node's rings in the through state, cross waveguides, drop into
+// the receiver, detector. The laser must deliver detector sensitivity plus
+// the whole loss chain plus margin on every wavelength — this is why ONOC
+// static power scales so unfavourably with radix, the effect R-T3 shows.
+#pragma once
+
+#include "onoc/devices.hpp"
+
+namespace sctm::onoc {
+
+struct LossBudgetInputs {
+  int nodes = 16;
+  int wavelengths = 16;
+  /// Channels a single node can write (MWSR crossbar: one per destination).
+  int channels_per_node = 15;
+  /// WDM comb is split across parallel waveguides so a single waveguide
+  /// never carries more than this many wavelengths — bounding the
+  /// through-ring loss chain, as Corona-class layouts do.
+  int wavelengths_per_waveguide = 16;
+  /// Physical die edge in cm; the serpentine waveguide length scales with it.
+  double die_edge_cm = 2.0;
+  MicroringParams ring;
+  WaveguideParams waveguide;
+  PhotodetectorParams detector;
+  LaserParams laser;
+};
+
+struct LossBudget {
+  double coupler_db = 0;
+  double propagation_db = 0;
+  double through_rings_db = 0;
+  double crossings_db = 0;
+  double insertion_db = 0;   // modulator insertion
+  double drop_db = 0;
+  double total_db() const {
+    return coupler_db + propagation_db + through_rings_db + crossings_db +
+           insertion_db + drop_db;
+  }
+};
+
+struct LaserRequirement {
+  double per_wavelength_dbm = 0;   // optical, at the laser
+  double total_optical_mw = 0;     // across all wavelengths and channels
+  double total_electrical_mw = 0;  // after wall-plug efficiency
+  long ring_count = 0;
+  double ring_heating_mw = 0;      // static trimming power
+  double waveguide_length_cm = 0;
+};
+
+/// Worst-case loss on the serpentine crossbar waveguide.
+LossBudget compute_loss(const LossBudgetInputs& in);
+
+/// Laser and thermal static power implied by the budget.
+LaserRequirement compute_laser(const LossBudgetInputs& in);
+
+}  // namespace sctm::onoc

@@ -1,0 +1,190 @@
+#include "onoc/onoc_network.hpp"
+
+#include <stdexcept>
+
+namespace sctm::onoc {
+
+OnocNetwork::OnocNetwork(Simulator& sim, std::string name,
+                         const noc::Topology& topo, const OnocParams& params)
+    : Network(sim, std::move(name), topo.node_count()),
+      topo_(topo),
+      params_(params),
+      stat_arb_wait_(accumulator("arb_wait")),
+      stat_ser_(accumulator("serialization")),
+      stat_transmissions_(counter("transmissions")) {
+  params_.validate();
+  if (topo_.kind() != noc::Topology::Kind::kMesh) {
+    throw std::invalid_argument(this->name() +
+                                ": ONOC tile layout must be a mesh");
+  }
+  if (params_.arbitration == Arbitration::kTokenRing) {
+    tokens_.reserve(static_cast<std::size_t>(topo_.node_count()));
+    for (int i = 0; i < topo_.node_count(); ++i) {
+      tokens_.emplace_back(topo_.node_count(), params_.token_hop_latency);
+    }
+  } else if (params_.arbitration == Arbitration::kSwmr) {
+    src_channel_free_.assign(static_cast<std::size_t>(topo_.node_count()), 0);
+  } else if (params_.arbitration == Arbitration::kSharedPool) {
+    if (params_.pool_channels < 1) {
+      throw std::invalid_argument(this->name() + ": pool_channels must be >= 1");
+    }
+    pool_free_.assign(static_cast<std::size_t>(params_.pool_channels), 0);
+  } else {
+    receivers_.resize(static_cast<std::size_t>(topo_.node_count()));
+    ctrl_ = std::make_unique<enoc::EnocNetwork>(
+        sim, this->name() + ".ctrl", topo_, params_.ctrl);
+    ctrl_->set_deliver_callback(
+        [this](const noc::Message& m) { on_ctrl_deliver(m); });
+  }
+}
+
+bool OnocNetwork::idle() const {
+  return in_flight_ == 0 && (!ctrl_ || ctrl_->idle());
+}
+
+Cycle OnocNetwork::zero_load_latency(const noc::Message& msg) const {
+  const Cycle ser = params_.ser_cycles(msg.size_bytes);
+  if (msg.src == msg.dst) {
+    return params_.eo_latency + ser + params_.oe_latency;
+  }
+  const Cycle tof =
+      params_.tof_cycles(topo_.distance(msg.src, msg.dst), topo_.width());
+  return params_.eo_latency + ser + tof + params_.oe_latency;
+}
+
+void OnocNetwork::inject(noc::Message msg) {
+  note_injected(msg);
+  ++in_flight_;
+
+  if (msg.src == msg.dst) {
+    // Local loopback: conversion + serialization only, no arbitration.
+    const Cycle lat = zero_load_latency(msg);
+    sim().schedule_in(lat, [this, msg]() mutable {
+      --in_flight_;
+      deliver(msg);
+    });
+    return;
+  }
+
+  if (params_.arbitration == Arbitration::kTokenRing) {
+    auto& ring = tokens_[static_cast<std::size_t>(msg.dst)];
+    const Cycle ser = params_.ser_cycles(msg.size_bytes);
+    const Cycle hold = ser + params_.guard_cycles;
+    const Cycle grant = ring.acquire(msg.src, sim().now(), hold);
+    stat_arb_wait_.add(static_cast<double>(grant - sim().now()));
+    sim().schedule_at(grant, [this, msg]() mutable { start_transmission(msg); });
+    return;
+  }
+
+  if (params_.arbitration == Arbitration::kSwmr) {
+    // The source's own channel is the only shared resource.
+    auto& free_at = src_channel_free_[static_cast<std::size_t>(msg.src)];
+    const Cycle start = free_at > sim().now() ? free_at : sim().now();
+    free_at = start + params_.ser_cycles(msg.size_bytes) + params_.guard_cycles;
+    stat_arb_wait_.add(static_cast<double>(start - sim().now()));
+    sim().schedule_at(start, [this, msg]() mutable { start_transmission(msg); });
+    return;
+  }
+
+  if (params_.arbitration == Arbitration::kSharedPool) {
+    // FCFS over the earliest-free channel of the pool, plus a token round
+    // of global arbitration latency per grant.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < pool_free_.size(); ++c) {
+      if (pool_free_[c] < pool_free_[best]) best = c;
+    }
+    const Cycle arb = params_.token_hop_latency *
+                      static_cast<Cycle>(topo_.node_count()) / 2;
+    const Cycle earliest = sim().now() + arb;
+    const Cycle start =
+        pool_free_[best] > earliest ? pool_free_[best] : earliest;
+    pool_free_[best] =
+        start + params_.ser_cycles(msg.size_bytes) + params_.guard_cycles;
+    stat_arb_wait_.add(static_cast<double>(start - sim().now()));
+    sim().schedule_at(start, [this, msg]() mutable { start_transmission(msg); });
+    return;
+  }
+
+  // Path setup: request the receiver over the control mesh.
+  const std::uint64_t pid = next_pending_id_++;
+  pending_.emplace(pid, Pending{msg});
+  send_ctrl(CtrlKind::kSetup, msg.src, msg.dst, pid);
+}
+
+void OnocNetwork::start_transmission(noc::Message msg) {
+  const Cycle ser = params_.ser_cycles(msg.size_bytes);
+  const Cycle tof =
+      params_.tof_cycles(topo_.distance(msg.src, msg.dst), topo_.width());
+  const Cycle lat = params_.eo_latency + ser + tof + params_.oe_latency;
+  stat_ser_.add(static_cast<double>(ser));
+  ++stat_transmissions_;
+  data_bytes_ += msg.size_bytes;
+  sim().schedule_in(lat, [this, msg]() mutable {
+    --in_flight_;
+    deliver(msg);
+  });
+}
+
+void OnocNetwork::send_ctrl(CtrlKind kind, NodeId from, NodeId to,
+                            std::uint64_t pending_id) {
+  noc::Message c;
+  c.id = next_ctrl_msg_id_++;
+  c.src = from;
+  c.dst = to;
+  c.size_bytes = params_.ctrl_msg_bytes;
+  c.cls = noc::MsgClass::kControl;
+  c.tag = (static_cast<std::uint64_t>(kind) << 56) | pending_id;
+  ctrl_->inject(c);
+}
+
+void OnocNetwork::on_ctrl_deliver(const noc::Message& ctrl) {
+  const auto kind = static_cast<CtrlKind>(ctrl.tag >> 56);
+  const std::uint64_t pid = ctrl.tag & ((std::uint64_t{1} << 56) - 1);
+  const auto it = pending_.find(pid);
+  if (it == pending_.end()) {
+    throw std::logic_error(name() + ": control message for unknown pending id");
+  }
+  noc::Message& msg = it->second.msg;
+
+  if (kind == CtrlKind::kSetup) {
+    auto& recv = receivers_[static_cast<std::size_t>(msg.dst)];
+    if (recv.busy) {
+      recv.queue.push_back(pid);
+    } else {
+      recv.busy = true;
+      send_ctrl(CtrlKind::kGrant, msg.dst, msg.src, pid);
+    }
+    return;
+  }
+
+  // Grant arrived at the writer: transmit now; the receiver frees when the
+  // tail has been detected (end of the optical transfer), plus a guard band.
+  stat_arb_wait_.add(static_cast<double>(sim().now() - msg.inject_time));
+  const noc::Message data = msg;
+  pending_.erase(it);
+  const Cycle ser = params_.ser_cycles(data.size_bytes);
+  const Cycle tof =
+      params_.tof_cycles(topo_.distance(data.src, data.dst), topo_.width());
+  const Cycle busy_for = params_.eo_latency + ser + tof + params_.oe_latency +
+                         params_.guard_cycles;
+  const NodeId dst = data.dst;
+  sim().schedule_in(busy_for, [this, dst] { receiver_freed(dst); });
+  start_transmission(data);
+}
+
+void OnocNetwork::receiver_freed(NodeId dst) {
+  auto& recv = receivers_[static_cast<std::size_t>(dst)];
+  if (recv.queue.empty()) {
+    recv.busy = false;
+    return;
+  }
+  const std::uint64_t pid = recv.queue.front();
+  recv.queue.pop_front();
+  const auto it = pending_.find(pid);
+  if (it == pending_.end()) {
+    throw std::logic_error(name() + ": queued pending id vanished");
+  }
+  send_ctrl(CtrlKind::kGrant, dst, it->second.msg.src, pid);
+}
+
+}  // namespace sctm::onoc

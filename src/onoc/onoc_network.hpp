@@ -1,0 +1,98 @@
+// Optical Network-on-Chip simulator.
+//
+// Architecture: a WDM multiple-writer single-reader (MWSR) crossbar — every
+// node owns one receive channel that every other node can modulate onto.
+// Transfer latency = arbitration wait + E/O + serialization + time-of-flight
+// + O/E. Two arbitration schemes are modeled:
+//
+//  * kTokenRing — a token per channel circulates the writers (Corona-like);
+//    arbitration is fully optical and needs no electrical network, but the
+//    token round-trip grows with radix.
+//  * kPathSetup — a writer first sends a setup request over an electrical
+//    control mesh (a full EnocNetwork instance carrying 1-flit control
+//    packets); the receiver grants FCFS and the grant travels back before
+//    data moves. Setup costs two electrical traversals but arbitrates
+//    precisely and supports back-to-back streaming to distinct receivers.
+//
+// The data plane is event-driven (no per-cycle clock): an idle ONOC costs
+// zero events, so trace replay over it is fast.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "enoc/enoc_network.hpp"
+#include "noc/network.hpp"
+#include "onoc/params.hpp"
+#include "onoc/token.hpp"
+
+namespace sctm::onoc {
+
+class OnocNetwork : public noc::Network {
+ public:
+  /// `topo` fixes the tile layout (time-of-flight distances) and, in
+  /// path-setup mode, the control mesh. Mesh topologies only.
+  OnocNetwork(Simulator& sim, std::string name, const noc::Topology& topo,
+              const OnocParams& params);
+
+  void inject(noc::Message msg) override;
+  bool idle() const override;
+
+  const OnocParams& params() const { return params_; }
+  const noc::Topology& topology() const { return topo_; }
+
+  /// Control mesh (null in token mode); exposed for power accounting.
+  const enoc::EnocNetwork* control_network() const { return ctrl_.get(); }
+
+  /// Deterministic no-contention latency for a message (unit-test oracle and
+  /// the "zero-load" reference): E/O + serialization + ToF + O/E.
+  Cycle zero_load_latency(const noc::Message& msg) const;
+
+  /// Total bytes moved over the optical data plane (power accounting).
+  std::uint64_t data_bytes() const { return data_bytes_; }
+
+ private:
+  struct Pending {
+    noc::Message msg;
+  };
+  enum class CtrlKind : std::uint64_t { kSetup = 1, kGrant = 2 };
+
+  void start_transmission(noc::Message msg);
+  void on_ctrl_deliver(const noc::Message& ctrl);
+  void send_ctrl(CtrlKind kind, NodeId from, NodeId to, std::uint64_t pending_id);
+  void receiver_freed(NodeId dst);
+
+  noc::Topology topo_;
+  OnocParams params_;
+
+  // Token mode: one ring per destination channel.
+  std::vector<TokenRing> tokens_;
+
+  // SWMR mode: per-source channel busy horizon.
+  std::vector<Cycle> src_channel_free_;
+
+  // Shared-pool mode: busy horizon per pooled channel.
+  std::vector<Cycle> pool_free_;
+
+  // Path-setup mode.
+  std::unique_ptr<enoc::EnocNetwork> ctrl_;
+  struct Receiver {
+    bool busy = false;
+    std::deque<std::uint64_t> queue;  // pending ids waiting for a grant
+  };
+  std::vector<Receiver> receivers_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_pending_id_ = 1;
+  std::uint64_t next_ctrl_msg_id_ = 1;
+
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t data_bytes_ = 0;
+
+  Accumulator& stat_arb_wait_;
+  Accumulator& stat_ser_;
+  std::uint64_t& stat_transmissions_;
+};
+
+}  // namespace sctm::onoc

@@ -1,0 +1,86 @@
+// Optical NoC configuration.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/config.hpp"
+#include "common/units.hpp"
+#include "enoc/params.hpp"
+#include "onoc/devices.hpp"
+
+namespace sctm::onoc {
+
+/// Channel organization / arbitration scheme of the data plane.
+enum class Arbitration {
+  kTokenRing,  // MWSR: Corona-style circulating token per receiver channel
+  kPathSetup,  // MWSR: circuit setup/grant over an electrical control mesh
+  kSwmr,       // SWMR: every *source* owns a channel (Firefly-style); no
+               // inter-node arbitration, only head-of-line at the source.
+               // Receivers are modeled contention-free (broadband drop
+               // filters), the scheme's optimistic assumption.
+  kSharedPool, // FlexiShare-style: a pool of `pool_channels` channels shared
+               // by all pairs; a transfer takes the earliest-free channel
+               // after a token round of arbitration. Trades channel count
+               // (rings, laser power) against queueing.
+};
+
+const char* to_string(Arbitration a);
+
+struct OnocParams {
+  int wavelengths = 16;
+  double gbps_per_wavelength = 10.0;
+  double clock_ghz = 2.0;
+
+  Cycle eo_latency = 1;   // electrical->optical conversion
+  Cycle oe_latency = 1;   // optical->electrical conversion
+  Cycle guard_cycles = 1; // channel guard band between transmissions
+  Cycle token_hop_latency = 1;
+
+  Arbitration arbitration = Arbitration::kTokenRing;
+  /// Channel-pool size for kSharedPool (must be >= 1).
+  int pool_channels = 8;
+
+  double die_edge_cm = 2.0;
+  MicroringParams ring;
+  WaveguideParams waveguide;
+  PhotodetectorParams detector;
+  LaserParams laser;
+
+  /// Control-message payload for path setup/grant (bytes).
+  std::uint32_t ctrl_msg_bytes = 8;
+  /// Electrical control mesh parameters (path-setup mode only).
+  enoc::EnocParams ctrl;
+
+  /// Channel bandwidth in bytes per core cycle.
+  double bytes_per_cycle() const {
+    return static_cast<double>(wavelengths) * gbps_per_wavelength /
+           (8.0 * clock_ghz);
+  }
+
+  /// Serialization time of a message (>= 1 cycle).
+  Cycle ser_cycles(std::uint32_t bytes) const {
+    const double c = static_cast<double>(bytes) / bytes_per_cycle();
+    auto out = static_cast<Cycle>(c);
+    if (static_cast<double>(out) < c) ++out;
+    return out == 0 ? 1 : out;
+  }
+
+  /// Time of flight between two tiles `tile_hops` apart on a die of
+  /// `fabric_width` tiles per edge (>= 1 cycle).
+  Cycle tof_cycles(int tile_hops, int fabric_width) const;
+
+  void validate() const {
+    if (wavelengths < 1 || gbps_per_wavelength <= 0 || clock_ghz <= 0) {
+      throw std::invalid_argument("OnocParams: non-positive channel spec");
+    }
+    if (eo_latency < 1 || oe_latency < 1 || token_hop_latency < 1) {
+      throw std::invalid_argument("OnocParams: latencies must be >= 1");
+    }
+  }
+
+  /// Reads "onoc.*" keys with these defaults.
+  static OnocParams from_config(const Config& cfg);
+};
+
+}  // namespace sctm::onoc

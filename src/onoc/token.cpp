@@ -1,0 +1,42 @@
+#include "onoc/token.hpp"
+
+#include <stdexcept>
+
+namespace sctm::onoc {
+
+TokenRing::TokenRing(int nodes, Cycle hop_latency)
+    : nodes_(nodes), hop_(hop_latency) {
+  if (nodes < 1 || hop_latency < 1) {
+    throw std::invalid_argument("TokenRing: nodes and hop latency must be >=1");
+  }
+}
+
+NodeId TokenRing::position_at(Cycle t) const {
+  if (t <= free_at_) return pos_;
+  const Cycle steps = (t - free_at_) / hop_;
+  return static_cast<NodeId>(
+      (static_cast<Cycle>(pos_) + steps) % static_cast<Cycle>(nodes_));
+}
+
+Cycle TokenRing::acquire(NodeId s, Cycle t, Cycle hold) {
+  if (s < 0 || s >= nodes_) throw std::invalid_argument("TokenRing: bad node");
+  if (t < last_call_) {
+    throw std::logic_error("TokenRing: acquire() out of time order");
+  }
+  last_call_ = t;
+
+  // The earliest instant the channel could be granted again.
+  const Cycle t0 = t > free_at_ ? t : free_at_;
+  // Token position at t0 (rotates while idle).
+  const NodeId at = position_at(t0);
+  const Cycle dist =
+      (static_cast<Cycle>(s) - static_cast<Cycle>(at) +
+       static_cast<Cycle>(nodes_)) % static_cast<Cycle>(nodes_);
+  const Cycle grant = t0 + dist * hop_;
+  pos_ = s;
+  free_at_ = grant + hold;
+  ++grants_;
+  return grant;
+}
+
+}  // namespace sctm::onoc

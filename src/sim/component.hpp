@@ -1,0 +1,45 @@
+// Base class for simulated hardware blocks.
+//
+// A Component owns a name (used as a stat prefix) and a reference to the
+// kernel. Subclasses schedule their own events; there is no global tick
+// broadcast — idle components cost nothing, which is what lets trace replay
+// run orders of magnitude faster than execution-driven mode.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace sctm {
+
+class Component {
+ public:
+  Component(Simulator& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  Cycle now() const { return sim_.now(); }
+
+ protected:
+  /// Counter/accumulator under this component's prefix ("<name>.<stat>").
+  std::uint64_t& counter(std::string_view stat) {
+    return sim_.stats().counter(name_ + "." + std::string(stat));
+  }
+  Accumulator& accumulator(std::string_view stat) {
+    return sim_.stats().accumulator(name_ + "." + std::string(stat));
+  }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+};
+
+}  // namespace sctm

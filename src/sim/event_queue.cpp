@@ -1,0 +1,30 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace sctm {
+
+std::uint64_t EventQueue::push(Cycle t, EventFn fn, Band band) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, band, seq, std::move(fn)});
+  return seq;
+}
+
+Cycle EventQueue::next_time() const {
+  return heap_.empty() ? kNoCycle : heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  // priority_queue::top() is const; the move is safe because we pop
+  // immediately after and never observe the moved-from entry.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace sctm

@@ -1,0 +1,69 @@
+// Stable priority queue of timed events.
+//
+// Determinism rule: events with equal timestamps execute in the order they
+// were scheduled (FIFO). This is load-bearing — the self-correction replay
+// relies on reproducing identical schedules across runs, so ties must never
+// be broken by heap internals. We key the heap on (time, sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sctm {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Execution bands within one timestamp: all kNormal events of a cycle run
+  /// before any kLate event of that cycle. The replay engine uses the late
+  /// band for injection flushes that must observe every delivery of the
+  /// cycle first.
+  enum Band : int { kNormal = 0, kLate = 1 };
+
+  /// Enqueues `fn` to run at absolute time `t`. Returns a monotonically
+  /// increasing sequence number (useful for tests asserting FIFO ties).
+  std::uint64_t push(Cycle t, EventFn fn, Band band = kNormal);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kNoCycle when empty.
+  Cycle next_time() const;
+
+  /// Removes and returns the earliest event (FIFO among ties).
+  struct Popped {
+    Cycle time;
+    EventFn fn;
+  };
+  Popped pop();
+
+  void clear();
+
+  /// Total events ever pushed (event-count metric for bench R-A2).
+  std::uint64_t total_pushed() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Cycle time;
+    int band;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.band != b.band) return a.band > b.band;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sctm

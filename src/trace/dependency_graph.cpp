@@ -1,0 +1,71 @@
+#include "trace/dependency_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sctm::trace {
+
+DependencyGraph::DependencyGraph(const Trace& trace) : trace_(trace) {
+  const auto n = static_cast<std::uint32_t>(trace.records.size());
+  index_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& r = trace.records[i];
+    if (!index_.emplace(r.id, i).second) {
+      throw std::invalid_argument("DependencyGraph: duplicate message id");
+    }
+  }
+  children_.resize(n);
+  dep_count_.resize(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& r = trace.records[i];
+    dep_count_[i] = static_cast<std::uint32_t>(r.deps.size());
+    if (r.deps.empty()) roots_.push_back(i);
+    for (const auto& d : r.deps) {
+      const auto it = index_.find(d.parent);
+      if (it == index_.end()) {
+        throw std::invalid_argument("DependencyGraph: unknown parent");
+      }
+      const std::uint32_t p = it->second;
+      if (trace.records[p].id >= r.id) {
+        throw std::invalid_argument(
+            "DependencyGraph: dependency does not precede dependent");
+      }
+      if (trace.records[p].arrive_time + d.slack != r.inject_time) {
+        throw std::invalid_argument(
+            "DependencyGraph: slack inconsistent with capture times");
+      }
+      children_[p].push_back(i);
+    }
+  }
+}
+
+std::uint32_t DependencyGraph::index_of(MsgId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    throw std::out_of_range("DependencyGraph: unknown message id");
+  }
+  return it->second;
+}
+
+std::size_t DependencyGraph::critical_path_length() const {
+  // Records are topologically ordered by id (validated above), so a single
+  // forward sweep computes the longest chain.
+  std::vector<std::uint32_t> depth(children_.size(), 1);
+  std::size_t best = children_.empty() ? 0 : 1;
+  for (std::uint32_t i = 0; i < children_.size(); ++i) {
+    for (const std::uint32_t c : children_[i]) {
+      depth[c] = std::max(depth[c], depth[i] + 1);
+      best = std::max<std::size_t>(best, depth[c]);
+    }
+  }
+  return best;
+}
+
+double DependencyGraph::mean_deps() const {
+  if (dep_count_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto d : dep_count_) total += d;
+  return static_cast<double>(total) / static_cast<double>(dep_count_.size());
+}
+
+}  // namespace sctm::trace

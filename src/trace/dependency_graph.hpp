@@ -1,0 +1,52 @@
+// Dependency-graph view over a trace: children lists, validation, and
+// structural statistics. The replay engine uses the children lists to wake
+// dependent records when a parent arrives; the validator enforces the
+// invariants that make one-pass self-correcting replay exact.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace sctm::trace {
+
+class DependencyGraph {
+ public:
+  /// Builds and validates. Throws std::invalid_argument when a dependency
+  /// points to an unknown or non-earlier message (the graph must be a DAG
+  /// ordered by capture id), or when a slack is inconsistent with capture
+  /// times.
+  explicit DependencyGraph(const Trace& trace);
+
+  std::size_t size() const { return children_.size(); }
+
+  /// Record indices (into trace.records) that depend on record `idx`.
+  const std::vector<std::uint32_t>& children_of(std::uint32_t idx) const {
+    return children_[idx];
+  }
+
+  /// Index of a record by message id; throws std::out_of_range when absent.
+  std::uint32_t index_of(MsgId id) const;
+
+  std::uint32_t dep_count(std::uint32_t idx) const { return dep_count_[idx]; }
+
+  /// Records with no dependencies (the replay anchors).
+  const std::vector<std::uint32_t>& roots() const { return roots_; }
+
+  /// Longest dependency chain length (critical path, in records).
+  std::size_t critical_path_length() const;
+
+  /// Mean dependencies per record.
+  double mean_deps() const;
+
+ private:
+  const Trace& trace_;
+  std::unordered_map<MsgId, std::uint32_t> index_;
+  std::vector<std::vector<std::uint32_t>> children_;
+  std::vector<std::uint32_t> dep_count_;
+  std::vector<std::uint32_t> roots_;
+};
+
+}  // namespace sctm::trace

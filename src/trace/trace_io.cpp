@@ -1,0 +1,138 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sctm::trace {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'T', 'M', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("trace: truncated input");
+  return v;
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& in) {
+  const auto len = get<std::uint32_t>(in);
+  if (len > (1u << 20)) throw std::runtime_error("trace: absurd string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("trace: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void write_binary(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  put_string(out, trace.app);
+  put_string(out, trace.capture_network);
+  put<std::int32_t>(out, trace.nodes);
+  put<std::uint64_t>(out, trace.capture_runtime);
+  put<std::uint64_t>(out, trace.seed);
+  put<std::uint64_t>(out, trace.records.size());
+  for (const auto& r : trace.records) {
+    put<std::uint64_t>(out, r.id);
+    put<std::int32_t>(out, r.src);
+    put<std::int32_t>(out, r.dst);
+    put<std::uint32_t>(out, r.size_bytes);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(r.cls));
+    put<std::uint8_t>(out, r.proto);
+    put<std::uint64_t>(out, r.inject_time);
+    put<std::uint64_t>(out, r.arrive_time);
+    put<std::uint16_t>(out, static_cast<std::uint16_t>(r.deps.size()));
+    for (const auto& d : r.deps) {
+      put<std::uint64_t>(out, d.parent);
+      put<std::uint64_t>(out, d.slack);
+    }
+  }
+  if (!out) throw std::runtime_error("trace: write failed");
+}
+
+Trace read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("trace: bad magic (not an SCTM trace?)");
+  }
+  Trace t;
+  t.app = get_string(in);
+  t.capture_network = get_string(in);
+  t.nodes = get<std::int32_t>(in);
+  t.capture_runtime = get<std::uint64_t>(in);
+  t.seed = get<std::uint64_t>(in);
+  const auto count = get<std::uint64_t>(in);
+  t.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.id = get<std::uint64_t>(in);
+    r.src = get<std::int32_t>(in);
+    r.dst = get<std::int32_t>(in);
+    r.size_bytes = get<std::uint32_t>(in);
+    r.cls = static_cast<noc::MsgClass>(get<std::uint8_t>(in));
+    r.proto = get<std::uint8_t>(in);
+    r.inject_time = get<std::uint64_t>(in);
+    r.arrive_time = get<std::uint64_t>(in);
+    const auto deps = get<std::uint16_t>(in);
+    r.deps.reserve(deps);
+    for (int d = 0; d < deps; ++d) {
+      TraceDep dep;
+      dep.parent = get<std::uint64_t>(in);
+      dep.slack = get<std::uint64_t>(in);
+      r.deps.push_back(dep);
+    }
+    t.records.push_back(std::move(r));
+  }
+  return t;
+}
+
+void write_binary_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  write_binary(trace, out);
+}
+
+Trace read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_binary(in);
+}
+
+std::string to_text(const Trace& trace) {
+  std::ostringstream ss;
+  ss << "# app=" << trace.app << " net=" << trace.capture_network
+     << " nodes=" << trace.nodes << " runtime=" << trace.capture_runtime
+     << " records=" << trace.records.size() << '\n';
+  for (const auto& r : trace.records) {
+    ss << r.id << ' ' << r.src << "->" << r.dst << " bytes=" << r.size_bytes
+       << " cls=" << noc::to_string(r.cls) << " t=" << r.inject_time << ".."
+       << r.arrive_time << " deps=[";
+    for (std::size_t i = 0; i < r.deps.size(); ++i) {
+      if (i) ss << ',';
+      ss << r.deps[i].parent << '+' << r.deps[i].slack;
+    }
+    ss << "]\n";
+  }
+  return ss.str();
+}
+
+}  // namespace sctm::trace

@@ -1,0 +1,30 @@
+// Trace serialization: a compact binary format plus a human-readable text
+// dump. Binary layout (little-endian, fixed-width):
+//
+//   magic "SCTMTRC1" (8 bytes)
+//   u32 app_len, app bytes
+//   u32 net_len, net bytes
+//   i32 nodes, u64 capture_runtime, u64 seed, u64 record_count
+//   per record:
+//     u64 id, i32 src, i32 dst, u32 size, u8 cls, u8 proto,
+//     u64 inject, u64 arrive, u16 dep_count, dep_count x (u64 parent,
+//     u64 slack)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace sctm::trace {
+
+void write_binary(const Trace& trace, std::ostream& out);
+Trace read_binary(std::istream& in);
+
+void write_binary_file(const Trace& trace, const std::string& path);
+Trace read_binary_file(const std::string& path);
+
+/// One line per record: debugging/diffing aid, not meant to be re-parsed.
+std::string to_text(const Trace& trace);
+
+}  // namespace sctm::trace

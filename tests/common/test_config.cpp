@@ -1,0 +1,94 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sctm {
+namespace {
+
+TEST(Config, ParsesKeyValueLines) {
+  const auto cfg = Config::from_string("a = 1\nb.c = hello\n");
+  EXPECT_EQ(cfg.get_int("a"), 1);
+  EXPECT_EQ(cfg.get_string("b.c"), "hello");
+}
+
+TEST(Config, IgnoresCommentsAndBlankLines) {
+  const auto cfg = Config::from_string("# comment\n\n a = 2 # trailing\n");
+  EXPECT_EQ(cfg.get_int("a"), 2);
+}
+
+TEST(Config, LaterAssignmentWins) {
+  const auto cfg = Config::from_string("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.get_int("a"), 2);
+}
+
+TEST(Config, MissingKeyThrowsWithoutDefault) {
+  const Config cfg;
+  EXPECT_THROW(cfg.get_int("nope"), std::runtime_error);
+  EXPECT_THROW(cfg.get_string("nope"), std::runtime_error);
+}
+
+TEST(Config, DefaultsUsedWhenAbsent) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_EQ(cfg.get_string("nope", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool("nope", true));
+  EXPECT_DOUBLE_EQ(cfg.get_double("nope", 1.5), 1.5);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto cfg = Config::from_string("a = zebra\n");
+  EXPECT_THROW(cfg.get_int("a"), std::runtime_error);
+  EXPECT_THROW(cfg.get_double("a"), std::runtime_error);
+  EXPECT_THROW(cfg.get_bool("a"), std::runtime_error);
+}
+
+TEST(Config, BoolSpellings) {
+  const auto cfg =
+      Config::from_string("a = true\nb = 0\nc = yes\nd = off\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_FALSE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::from_string("just a token\n"), std::runtime_error);
+  EXPECT_THROW(Config::from_string("= value\n"), std::runtime_error);
+}
+
+TEST(Config, MergeOverrides) {
+  auto a = Config::from_string("x = 1\ny = 2\n");
+  const auto b = Config::from_string("y = 3\nz = 4\n");
+  a.merge(b);
+  EXPECT_EQ(a.get_int("x"), 1);
+  EXPECT_EQ(a.get_int("y"), 3);
+  EXPECT_EQ(a.get_int("z"), 4);
+}
+
+TEST(Config, ConsumedDumpTracksReads) {
+  const auto cfg = Config::from_string("a = 1\nb = 2\n");
+  (void)cfg.get_int("a");
+  const std::string dump = cfg.consumed_dump();
+  EXPECT_NE(dump.find("a = 1"), std::string::npos);
+  EXPECT_EQ(dump.find("b = 2"), std::string::npos);
+}
+
+TEST(Config, SettersRoundTrip) {
+  Config cfg;
+  cfg.set_int("i", -5);
+  cfg.set_double("d", 0.25);
+  cfg.set_bool("b", true);
+  EXPECT_EQ(cfg.get_int("i"), -5);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d"), 0.25);
+  EXPECT_TRUE(cfg.get_bool("b"));
+}
+
+TEST(Config, DumpListsAllKeysSorted) {
+  const auto cfg = Config::from_string("b = 2\na = 1\n");
+  EXPECT_EQ(cfg.dump(), "a = 1\nb = 2\n");
+}
+
+}  // namespace
+}  // namespace sctm

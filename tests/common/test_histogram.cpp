@@ -1,0 +1,109 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sctm {
+namespace {
+
+TEST(Histogram, EmptyBehaviour) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, BasicMoments) {
+  Histogram h;
+  for (const std::uint64_t v : {1, 2, 3, 4, 5}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 5u);
+}
+
+TEST(Histogram, MedianOddAndEven) {
+  Histogram odd;
+  for (const std::uint64_t v : {1, 2, 3, 4, 5}) odd.add(v);
+  EXPECT_EQ(odd.percentile(0.5), 3u);
+
+  Histogram even;
+  for (const std::uint64_t v : {1, 2, 3, 4}) even.add(v);
+  EXPECT_EQ(even.percentile(0.5), 2u);  // smallest v covering half the mass
+}
+
+TEST(Histogram, PercentileEdges) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 100; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 99u);
+  EXPECT_EQ(h.percentile(0.99), 98u);
+}
+
+TEST(Histogram, OverflowRegionExact) {
+  Histogram h(/*dense_limit=*/16);
+  h.add(10);
+  h.add(1000);
+  h.add(1000000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 1000000u);
+  EXPECT_EQ(h.percentile(1.0), 1000000u);
+  EXPECT_EQ(h.count_at(1000), 1u);
+  EXPECT_EQ(h.count_at(999), 0u);
+}
+
+TEST(Histogram, PercentilesMatchSortedVector) {
+  Rng rng(99);
+  Histogram h(64);
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_below(500);
+    h.add(v);
+    vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    std::size_t rank = static_cast<std::size_t>(q * vals.size());
+    if (static_cast<double>(rank) < q * static_cast<double>(vals.size())) {
+      ++rank;
+    }
+    if (rank == 0) rank = 1;
+    EXPECT_EQ(h.percentile(q), vals[rank - 1]) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergePreservesCountsAndShape) {
+  Histogram a, b;
+  for (std::uint64_t v = 0; v < 10; ++v) a.add(v);
+  for (std::uint64_t v = 10; v < 20; ++v) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 19u);
+  EXPECT_DOUBLE_EQ(a.mean(), 9.5);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.add(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SummaryMentionsKeyFields) {
+  Histogram h;
+  h.add(7);
+  const auto s = h.summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p50=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sctm

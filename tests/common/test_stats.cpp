@@ -1,0 +1,111 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sctm {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMax) {
+  Accumulator a;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+}
+
+TEST(Accumulator, VarianceMatchesClosedForm) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_NEAR(a.variance(), 4.0, 1e-12);  // classic example, sigma^2 = 4
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.73;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(StatRegistry, CounterPersistsAndIncrements) {
+  StatRegistry reg;
+  auto& c = reg.counter("x.y");
+  c += 3;
+  EXPECT_EQ(reg.counter_value("x.y"), 3u);
+  ++reg.counter("x.y");
+  EXPECT_EQ(reg.counter_value("x.y"), 4u);
+}
+
+TEST(StatRegistry, ReferencesStableAcrossInsertions) {
+  StatRegistry reg;
+  auto& a = reg.counter("a");
+  for (int i = 0; i < 1000; ++i) reg.counter("k" + std::to_string(i));
+  a = 42;
+  EXPECT_EQ(reg.counter_value("a"), 42u);
+}
+
+TEST(StatRegistry, MissingCounterReadsZero) {
+  const StatRegistry reg;
+  EXPECT_EQ(reg.counter_value("ghost"), 0u);
+}
+
+TEST(StatRegistry, AccumulatorRegistered) {
+  StatRegistry reg;
+  reg.accumulator("lat").add(5.0);
+  reg.accumulator("lat").add(7.0);
+  EXPECT_DOUBLE_EQ(reg.accumulator("lat").mean(), 6.0);
+  EXPECT_TRUE(reg.has_accumulator("lat"));
+  EXPECT_FALSE(reg.has_accumulator("nope"));
+}
+
+TEST(StatRegistry, NamesSortedAndReportNonEmpty) {
+  StatRegistry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.accumulator("c").add(1);
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+  EXPECT_FALSE(reg.report().empty());
+}
+
+TEST(StatRegistry, ResetClears) {
+  StatRegistry reg;
+  reg.counter("a") = 1;
+  reg.reset();
+  EXPECT_FALSE(reg.has_counter("a"));
+}
+
+}  // namespace
+}  // namespace sctm

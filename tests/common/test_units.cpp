@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sctm {
+namespace {
+
+TEST(Units, CyclesToSeconds) {
+  EXPECT_DOUBLE_EQ(units::cycles_to_seconds(2'000'000'000ULL, 2e9), 1.0);
+}
+
+TEST(Units, SecondsToCyclesRoundsUp) {
+  EXPECT_EQ(units::seconds_to_cycles(1.0, 2e9), 2'000'000'000ULL);
+  EXPECT_EQ(units::seconds_to_cycles(1.0000000001, 2e9), 2'000'000'001ULL);
+  EXPECT_EQ(units::seconds_to_cycles(0.0, 2e9), 0ULL);
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  for (const double db : {-30.0, -3.0, 0.0, 3.0, 10.0}) {
+    EXPECT_NEAR(units::linear_to_db(units::db_to_linear(db)), db, 1e-9);
+  }
+  EXPECT_NEAR(units::db_to_linear(3.0), 1.9952623, 1e-6);
+  EXPECT_DOUBLE_EQ(units::db_to_linear(0.0), 1.0);
+}
+
+TEST(Units, DbmMilliwattRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::mw_to_dbm(1.0), 0.0);
+  EXPECT_NEAR(units::dbm_to_mw(10.0), 10.0, 1e-9);
+  for (const double dbm : {-10.0, 0.0, 5.0}) {
+    EXPECT_NEAR(units::mw_to_dbm(units::dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, Sentinels) {
+  EXPECT_GT(kNoCycle, Cycle{1} << 62);
+  EXPECT_LT(kInvalidNode, 0);
+}
+
+}  // namespace
+}  // namespace sctm

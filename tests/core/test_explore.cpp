@@ -1,0 +1,83 @@
+#include "core/explore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sctm::core {
+namespace {
+
+trace::Trace capture_fft() {
+  fullsys::AppParams app;
+  app.name = "fft";
+  app.cores = 16;
+  app.lines_per_core = 8;
+  app.iterations = 1;
+  NetSpec spec;
+  spec.kind = NetKind::kEnoc;
+  return run_execution(app, spec, {}).trace;
+}
+
+std::vector<Candidate> small_space() {
+  std::vector<Candidate> out;
+  for (const auto kind : {NetKind::kEnoc, NetKind::kOnocToken,
+                          NetKind::kOnocSwmr}) {
+    NetSpec s;
+    s.kind = kind;
+    out.push_back({to_string(kind), s});
+  }
+  NetSpec fat;
+  fat.kind = NetKind::kOnocSwmr;
+  fat.onoc.wavelengths = 64;
+  out.push_back({"swmr-64", fat});
+  return out;
+}
+
+TEST(Explore, EvaluatesEveryCandidate) {
+  const auto trace = capture_fft();
+  const auto results = explore(trace, small_space());
+  EXPECT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.runtime, 0u);
+    EXPECT_GT(r.mean_latency, 0.0);
+  }
+}
+
+TEST(Explore, SortedByRuntime) {
+  const auto trace = capture_fft();
+  const auto results = explore(trace, small_space());
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].runtime, results[i].runtime);
+  }
+}
+
+TEST(Explore, ThreadCountInvariant) {
+  const auto trace = capture_fft();
+  const auto serial = explore(trace, small_space(), {}, 1);
+  const auto parallel = explore(trace, small_space(), {}, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].runtime, parallel[i].runtime);
+    EXPECT_EQ(serial[i].p99_latency, parallel[i].p99_latency);
+  }
+}
+
+TEST(Explore, EmptySpaceYieldsNothing) {
+  const auto trace = capture_fft();
+  EXPECT_TRUE(explore(trace, {}).empty());
+}
+
+TEST(Explore, MoreWavelengthsRankHigher) {
+  const auto trace = capture_fft();
+  std::vector<Candidate> space;
+  for (const int l : {8, 64}) {
+    NetSpec s;
+    s.kind = NetKind::kOnocSwmr;
+    s.onoc.wavelengths = l;
+    space.push_back({"l" + std::to_string(l), s});
+  }
+  const auto results = explore(trace, space);
+  EXPECT_EQ(results.front().name, "l64");
+}
+
+}  // namespace
+}  // namespace sctm::core

@@ -1,0 +1,92 @@
+#include "enoc/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sctm::enoc {
+namespace {
+
+std::vector<bool> bits(std::initializer_list<int> set, int width) {
+  std::vector<bool> v(width, false);
+  for (const int i : set) v[i] = true;
+  return v;
+}
+
+TEST(RoundRobin, NoRequestsNoGrant) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.grant(bits({}, 4)), -1);
+}
+
+TEST(RoundRobin, SingleRequesterWins) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.grant(bits({2}, 4)), 2);
+}
+
+TEST(RoundRobin, RotatesAmongContenders) {
+  RoundRobinArbiter a(3);
+  const auto all = bits({0, 1, 2}, 3);
+  EXPECT_EQ(a.grant(all), 0);
+  EXPECT_EQ(a.grant(all), 1);
+  EXPECT_EQ(a.grant(all), 2);
+  EXPECT_EQ(a.grant(all), 0);
+}
+
+TEST(RoundRobin, SkipsIdleRequesters) {
+  RoundRobinArbiter a(4);
+  EXPECT_EQ(a.grant(bits({1, 3}, 4)), 1);
+  EXPECT_EQ(a.grant(bits({1, 3}, 4)), 3);
+  EXPECT_EQ(a.grant(bits({1, 3}, 4)), 1);
+}
+
+TEST(RoundRobin, FairUnderSaturation) {
+  RoundRobinArbiter a(4);
+  std::map<int, int> wins;
+  const auto all = bits({0, 1, 2, 3}, 4);
+  for (int i = 0; i < 400; ++i) wins[a.grant(all)]++;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(wins[i], 100);
+}
+
+TEST(RoundRobin, ResetRestoresPriority) {
+  RoundRobinArbiter a(4);
+  (void)a.grant(bits({0, 1}, 4));
+  a.reset();
+  EXPECT_EQ(a.grant(bits({0, 1}, 4)), 0);
+}
+
+TEST(Matrix, SingleRequesterWins) {
+  MatrixArbiter a(4);
+  EXPECT_EQ(a.grant(bits({3}, 4)), 3);
+}
+
+TEST(Matrix, LeastRecentlyGrantedWins) {
+  MatrixArbiter a(3);
+  const auto all = bits({0, 1, 2}, 3);
+  EXPECT_EQ(a.grant(all), 0);
+  EXPECT_EQ(a.grant(all), 1);
+  EXPECT_EQ(a.grant(all), 2);
+  EXPECT_EQ(a.grant(all), 0);
+}
+
+TEST(Matrix, WinnerDropsBehindNewcomer) {
+  MatrixArbiter a(3);
+  EXPECT_EQ(a.grant(bits({0}, 3)), 0);
+  // 0 just won; against 2 it should now lose.
+  EXPECT_EQ(a.grant(bits({0, 2}, 3)), 2);
+}
+
+TEST(Matrix, FairUnderSaturation) {
+  MatrixArbiter a(4);
+  std::map<int, int> wins;
+  const auto all = bits({0, 1, 2, 3}, 4);
+  for (int i = 0; i < 400; ++i) wins[a.grant(all)]++;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(wins[i], 100);
+}
+
+TEST(Matrix, NoRequestsNoGrant) {
+  MatrixArbiter a(2);
+  EXPECT_EQ(a.grant(bits({}, 2)), -1);
+}
+
+}  // namespace
+}  // namespace sctm::enoc

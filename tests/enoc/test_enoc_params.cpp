@@ -1,0 +1,75 @@
+#include "enoc/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sctm::enoc {
+namespace {
+
+TEST(EnocParams, DefaultsAreValid) {
+  EnocParams p;
+  EXPECT_NO_THROW(p.validate(false));
+  EXPECT_NO_THROW(p.validate(true));  // 2 VCs/vnet split into dateline halves
+  EXPECT_EQ(p.total_vcs(), 4);
+}
+
+TEST(EnocParams, FlitSegmentation) {
+  EnocParams p;  // 16 B flits, 8 B header
+  EXPECT_EQ(p.flits_for(0), 1u);
+  EXPECT_EQ(p.flits_for(8), 1u);
+  EXPECT_EQ(p.flits_for(9), 2u);
+  EXPECT_EQ(p.flits_for(64), 5u);
+  EXPECT_EQ(p.flits_for(4096), 257u);
+}
+
+TEST(EnocParams, ValidationRejectsBadValues) {
+  EnocParams p;
+  p.buffer_depth = 0;
+  EXPECT_THROW(p.validate(false), std::invalid_argument);
+  p = EnocParams{};
+  p.link_latency = 0;
+  EXPECT_THROW(p.validate(false), std::invalid_argument);
+  p = EnocParams{};
+  p.vcs_per_vnet = 3;
+  EXPECT_NO_THROW(p.validate(false));
+  EXPECT_THROW(p.validate(true), std::invalid_argument);  // dateline needs even
+}
+
+TEST(EnocParams, FromConfigDefaults) {
+  const auto p = EnocParams::from_config(Config{});
+  EXPECT_EQ(p.vnets, 2);
+  EXPECT_EQ(p.vcs_per_vnet, 2);
+  EXPECT_EQ(p.routing, noc::RoutingAlgo::kXY);
+  EXPECT_EQ(p.arbiter, ArbiterKind::kRoundRobin);
+  EXPECT_FALSE(p.adaptive);
+}
+
+TEST(EnocParams, FromConfigOverrides) {
+  const auto cfg = Config::from_string(
+      "enoc.vnets = 1\nenoc.vcs_per_vnet = 4\nenoc.buffer_depth = 8\n"
+      "enoc.flit_bytes = 32\nenoc.link_latency = 2\n"
+      "enoc.routing = odd-even\nenoc.adaptive = true\n"
+      "enoc.arbiter = matrix\n");
+  const auto p = EnocParams::from_config(cfg);
+  EXPECT_EQ(p.vnets, 1);
+  EXPECT_EQ(p.vcs_per_vnet, 4);
+  EXPECT_EQ(p.buffer_depth, 8);
+  EXPECT_EQ(p.flit_bytes, 32u);
+  EXPECT_EQ(p.link_latency, 2u);
+  EXPECT_EQ(p.routing, noc::RoutingAlgo::kOddEven);
+  EXPECT_TRUE(p.adaptive);
+  EXPECT_EQ(p.arbiter, ArbiterKind::kMatrix);
+}
+
+TEST(EnocParams, FromConfigRejectsUnknownNames) {
+  EXPECT_THROW(
+      EnocParams::from_config(Config::from_string("enoc.routing = spiral\n")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      EnocParams::from_config(Config::from_string("enoc.arbiter = coin\n")),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sctm::enoc

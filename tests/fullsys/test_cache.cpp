@@ -1,0 +1,105 @@
+#include "fullsys/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sctm::fullsys {
+namespace {
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(3, 2), std::invalid_argument);
+  EXPECT_THROW(Cache(0, 2), std::invalid_argument);
+  EXPECT_THROW(Cache(4, 0), std::invalid_argument);
+}
+
+TEST(Cache, MissOnEmpty) {
+  Cache c(4, 2);
+  EXPECT_EQ(c.lookup(5), LineState::kI);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, InsertThenHit) {
+  Cache c(4, 2);
+  EXPECT_FALSE(c.insert(5, LineState::kS).has_value());
+  EXPECT_EQ(c.lookup(5), LineState::kS);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotTouchLruOrStats) {
+  Cache c(4, 2);
+  c.insert(5, LineState::kM);
+  EXPECT_EQ(c.probe(5), LineState::kM);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(1, 2);  // one set, two ways
+  c.insert(10, LineState::kS);
+  c.insert(20, LineState::kS);
+  (void)c.lookup(10);  // 20 is now LRU
+  const auto evicted = c.insert(30, LineState::kS);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line_no, 20u);
+  EXPECT_EQ(c.probe(10), LineState::kS);
+  EXPECT_EQ(c.probe(20), LineState::kI);
+}
+
+TEST(Cache, VictimForPredictsEviction) {
+  Cache c(1, 2);
+  c.insert(1, LineState::kM);
+  c.insert(2, LineState::kS);
+  const auto v = c.victim_for(3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->line_no, 1u);
+  EXPECT_EQ(v->state, LineState::kM);
+  // Same line or free way: no victim.
+  EXPECT_FALSE(c.victim_for(1).has_value());
+  Cache d(1, 2);
+  d.insert(1, LineState::kS);
+  EXPECT_FALSE(d.victim_for(9).has_value());
+}
+
+TEST(Cache, InsertSameLineUpdatesInPlace) {
+  Cache c(1, 2);
+  c.insert(1, LineState::kS);
+  const auto evicted = c.insert(1, LineState::kM);
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(c.probe(1), LineState::kM);
+}
+
+TEST(Cache, SetStateAndInvalidate) {
+  Cache c(4, 2);
+  c.insert(7, LineState::kS);
+  EXPECT_TRUE(c.set_state(7, LineState::kM));
+  EXPECT_EQ(c.probe(7), LineState::kM);
+  EXPECT_TRUE(c.invalidate(7));
+  EXPECT_EQ(c.probe(7), LineState::kI);
+  EXPECT_FALSE(c.invalidate(7));
+  EXPECT_FALSE(c.set_state(99, LineState::kS));
+}
+
+TEST(Cache, SetsIndexByLowBits) {
+  Cache c(4, 1);
+  // Lines 0 and 4 map to set 0; 1 maps to set 1.
+  c.insert(0, LineState::kS);
+  c.insert(1, LineState::kS);
+  const auto evicted = c.insert(4, LineState::kS);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line_no, 0u);
+  EXPECT_EQ(c.probe(1), LineState::kS);
+}
+
+TEST(Cache, InsertInvalidThrows) {
+  Cache c(4, 2);
+  EXPECT_THROW(c.insert(1, LineState::kI), std::invalid_argument);
+}
+
+TEST(Cache, CapacityLines) {
+  EXPECT_EQ(Cache(64, 4).capacity_lines(), 256u);
+}
+
+}  // namespace
+}  // namespace sctm::fullsys

@@ -1,0 +1,238 @@
+// Core-model unit tests against a recording fake fabric: op folding, miss
+// issue, writeback-before-request ordering, probe handling, unblock
+// emission — the core's contract with the directory, pinned message by
+// message.
+#include "fullsys/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace sctm::fullsys {
+namespace {
+
+struct SentMsg {
+  ProtoMsg type;
+  NodeId dst;
+  std::uint64_t line;
+  Cycle at;
+};
+
+class FakeFabric : public Fabric {
+ public:
+  explicit FakeFabric(Simulator& sim) : sim_(sim) {}
+  MsgId send(ProtoMsg type, NodeId, NodeId dst, std::uint64_t line,
+             const std::vector<MsgId>&) override {
+    sent.push_back({type, dst, line, sim_.now()});
+    return next_id++;
+  }
+  NodeId home_of(std::uint64_t line) const override {
+    return static_cast<NodeId>(line % 4);
+  }
+  NodeId mc_for(std::uint64_t) const override { return 3; }
+
+  Simulator& sim_;
+  std::vector<SentMsg> sent;
+  MsgId next_id = 1000;
+};
+
+FullSysParams tiny() {
+  FullSysParams p;
+  p.l1_sets = 1;
+  p.l1_ways = 2;
+  return p;
+}
+
+TEST(CoreModel, ComputeOnlyFinishesWithoutTraffic) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0,
+            {{OpKind::kCompute, 100}, {OpKind::kDone, 0}}, tiny(), fabric);
+  core.start();
+  sim.run();
+  EXPECT_TRUE(core.done());
+  EXPECT_EQ(core.finish_time(), 100u);
+  EXPECT_TRUE(fabric.sent.empty());
+}
+
+TEST(CoreModel, LoadMissIssuesGetSAfterDetectLatency) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  FullSysParams p = tiny();
+  Core core(sim, "core", 0, {{OpKind::kLoad, 5}, {OpKind::kDone, 0}}, p,
+            fabric);
+  core.start();
+  sim.run();
+  ASSERT_EQ(fabric.sent.size(), 1u);
+  EXPECT_EQ(fabric.sent[0].type, ProtoMsg::kGetS);
+  EXPECT_EQ(fabric.sent[0].dst, 1);  // home of line 5
+  EXPECT_EQ(fabric.sent[0].at, p.l1_hit_latency + p.l1_miss_detect);
+  EXPECT_FALSE(core.done());  // blocked on the miss
+  EXPECT_EQ(core.l1_misses(), 1u);
+}
+
+TEST(CoreModel, DataReplyUnblocksAndSendsUnblock) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0, {{OpKind::kLoad, 5}, {OpKind::kDone, 0}}, tiny(),
+            fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kData, 5, 1);
+  sim.run();
+  EXPECT_TRUE(core.done());
+  ASSERT_EQ(fabric.sent.size(), 2u);
+  EXPECT_EQ(fabric.sent[1].type, ProtoMsg::kUnblock);
+}
+
+TEST(CoreModel, StoreOnSharedLineUpgrades) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0,
+            {{OpKind::kLoad, 5}, {OpKind::kStore, 5}, {OpKind::kDone, 0}},
+            tiny(), fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kData, 5, 1);  // now S
+  sim.run();
+  // The store on the S line must miss (upgrade) with a GetM.
+  ASSERT_EQ(fabric.sent.size(), 3u);
+  EXPECT_EQ(fabric.sent[2].type, ProtoMsg::kGetM);
+  core.on_message(ProtoMsg::kDataM, 5, 2);
+  sim.run();
+  EXPECT_TRUE(core.done());
+  // Cache-level: the upgrade lookup finds the S line (a hit); the cold load
+  // was the only cache miss. The upgrade is a *core*-level miss only.
+  EXPECT_EQ(core.l1_misses(), 1u);
+}
+
+TEST(CoreModel, StoreHitOnOwnedLine) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0,
+            {{OpKind::kStore, 5}, {OpKind::kStore, 5}, {OpKind::kDone, 0}},
+            tiny(), fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kDataM, 5, 1);
+  sim.run();
+  EXPECT_TRUE(core.done());
+  EXPECT_EQ(core.l1_hits(), 1u);  // second store hits in M
+}
+
+TEST(CoreModel, DirtyVictimWritesBackBeforeDemandRequest) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  // 1-set 2-way L1: three dirty lines force an eviction.
+  Core core(sim, "core", 0,
+            {{OpKind::kStore, 4},
+             {OpKind::kStore, 8},
+             {OpKind::kStore, 12},
+             {OpKind::kDone, 0}},
+            tiny(), fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kDataM, 4, 1);
+  sim.run();
+  core.on_message(ProtoMsg::kDataM, 8, 2);
+  sim.run();
+  // Third store: victim (line 4, dirty) must PutM first.
+  const auto& putm = fabric.sent.back();
+  EXPECT_EQ(putm.type, ProtoMsg::kPutM);
+  EXPECT_EQ(putm.line, 4u);
+  // The GetM for line 12 is *not* sent until WbAck.
+  core.on_message(ProtoMsg::kWbAck, 4, 3);
+  sim.run();
+  EXPECT_EQ(fabric.sent.back().type, ProtoMsg::kGetM);
+  EXPECT_EQ(fabric.sent.back().line, 12u);
+  core.on_message(ProtoMsg::kDataM, 12, 4);
+  sim.run();
+  EXPECT_TRUE(core.done());
+}
+
+TEST(CoreModel, InvAckedEvenWhenLineAbsent) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0, {{OpKind::kDone, 0}}, tiny(), fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kInv, 77, 9);
+  sim.run();
+  ASSERT_EQ(fabric.sent.size(), 1u);
+  EXPECT_EQ(fabric.sent[0].type, ProtoMsg::kInvAck);
+  EXPECT_EQ(fabric.sent[0].dst, 1);  // home of 77
+}
+
+TEST(CoreModel, RecallOnDirtyLineReturnsData) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0,
+            {{OpKind::kStore, 5}, {OpKind::kCompute, 1000}, {OpKind::kDone, 0}},
+            tiny(), fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kDataM, 5, 1);
+  sim.run_until(50);
+  core.on_message(ProtoMsg::kRecall, 5, 2);
+  sim.run();
+  bool recall_data = false;
+  for (const auto& m : fabric.sent) {
+    if (m.type == ProtoMsg::kRecallData && m.line == 5) recall_data = true;
+  }
+  EXPECT_TRUE(recall_data);
+}
+
+TEST(CoreModel, RecallOnAbsentLineReturnsStale) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0, {{OpKind::kDone, 0}}, tiny(), fabric);
+  core.start();
+  sim.run();
+  core.on_message(ProtoMsg::kRecall, 5, 1);
+  sim.run();
+  ASSERT_EQ(fabric.sent.size(), 1u);
+  EXPECT_EQ(fabric.sent[0].type, ProtoMsg::kRecallStale);
+}
+
+TEST(CoreModel, BarrierBlocksUntilRelease) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 2, {{OpKind::kBarrier, 0}, {OpKind::kDone, 0}},
+            tiny(), fabric);
+  core.start();
+  sim.run();
+  ASSERT_EQ(fabric.sent.size(), 1u);
+  EXPECT_EQ(fabric.sent[0].type, ProtoMsg::kBarArrive);
+  EXPECT_EQ(fabric.sent[0].dst, 0);
+  EXPECT_FALSE(core.done());
+  core.on_message(ProtoMsg::kBarRelease, 0, 1);
+  sim.run();
+  EXPECT_TRUE(core.done());
+}
+
+TEST(CoreModel, UnexpectedMessagesThrow) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  Core core(sim, "core", 0, {{OpKind::kDone, 0}}, tiny(), fabric);
+  core.start();
+  sim.run();
+  EXPECT_THROW(core.on_message(ProtoMsg::kData, 5, 1), std::logic_error);
+  EXPECT_THROW(core.on_message(ProtoMsg::kWbAck, 5, 2), std::logic_error);
+  EXPECT_THROW(core.on_message(ProtoMsg::kBarRelease, 0, 3), std::logic_error);
+}
+
+TEST(CoreModel, ComputeTimeAccumulatesBetweenMisses) {
+  Simulator sim;
+  FakeFabric fabric(sim);
+  FullSysParams p = tiny();
+  Core core(sim, "core", 0,
+            {{OpKind::kCompute, 50}, {OpKind::kLoad, 5}, {OpKind::kDone, 0}},
+            p, fabric);
+  core.start();
+  sim.run();
+  ASSERT_EQ(fabric.sent.size(), 1u);
+  EXPECT_EQ(fabric.sent[0].at, 50 + p.l1_hit_latency + p.l1_miss_detect);
+}
+
+}  // namespace
+}  // namespace sctm::fullsys

@@ -1,0 +1,263 @@
+// L2 bank / directory unit tests against a recording fake fabric: each test
+// drives one protocol scenario message-by-message and checks the exact
+// response sequence — finer-grained than the system-level tests, and the
+// place where the transaction state machine's edges are pinned down.
+#include "fullsys/l2bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace sctm::fullsys {
+namespace {
+
+struct SentMsg {
+  ProtoMsg type;
+  NodeId src;
+  NodeId dst;
+  std::uint64_t line;
+};
+
+class FakeFabric : public Fabric {
+ public:
+  MsgId send(ProtoMsg type, NodeId src, NodeId dst, std::uint64_t line,
+             const std::vector<MsgId>&) override {
+    sent.push_back({type, src, dst, line});
+    return next_id++;
+  }
+  NodeId home_of(std::uint64_t line) const override {
+    return static_cast<NodeId>(line % 4);
+  }
+  NodeId mc_for(std::uint64_t) const override { return 3; }
+
+  std::vector<SentMsg> sent;
+  MsgId next_id = 1000;
+};
+
+class L2BankTest : public ::testing::Test {
+ protected:
+  L2BankTest() : bank_(sim_, "bank", /*id=*/0, params(), fabric_) {}
+
+  static FullSysParams params() {
+    FullSysParams p;
+    p.l2_sets = 4;
+    p.l2_ways = 2;
+    return p;
+  }
+
+  /// Runs pending events (the bank's send_after delays).
+  void settle() { sim_.run(); }
+
+  const SentMsg& last() const { return fabric_.sent.back(); }
+
+  Simulator sim_;
+  FakeFabric fabric_;
+  L2Bank bank_;
+  MsgId in_id_ = 1;
+};
+
+TEST_F(L2BankTest, ColdGetSFetchesFromMemory) {
+  bank_.on_message(ProtoMsg::kGetS, /*src=*/1, /*line=*/4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 1u);
+  EXPECT_EQ(last().type, ProtoMsg::kMemRead);
+  EXPECT_EQ(last().dst, 3);
+  EXPECT_FALSE(bank_.quiescent());
+
+  bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 2u);
+  EXPECT_EQ(last().type, ProtoMsg::kData);
+  EXPECT_EQ(last().dst, 1);
+  EXPECT_FALSE(bank_.quiescent());  // awaiting unblock
+
+  bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++);
+  settle();
+  EXPECT_TRUE(bank_.quiescent());
+}
+
+TEST_F(L2BankTest, SecondGetSHitsWithoutMemory) {
+  bank_.on_message(ProtoMsg::kGetS, 1, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++);
+  settle();
+  fabric_.sent.clear();
+
+  bank_.on_message(ProtoMsg::kGetS, 2, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 1u);
+  EXPECT_EQ(last().type, ProtoMsg::kData);
+  EXPECT_EQ(last().dst, 2);
+  bank_.on_message(ProtoMsg::kUnblock, 2, 4, in_id_++);
+  settle();
+  EXPECT_TRUE(bank_.quiescent());
+}
+
+TEST_F(L2BankTest, GetMInvalidatesSharers) {
+  // Two sharers.
+  for (const NodeId s : {1, 2}) {
+    bank_.on_message(ProtoMsg::kGetS, s, 4, in_id_++);
+    settle();
+    if (s == 1) {
+      bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+      settle();
+    }
+    bank_.on_message(ProtoMsg::kUnblock, s, 4, in_id_++);
+    settle();
+  }
+  fabric_.sent.clear();
+
+  // Core 0 writes: both sharers must get Inv.
+  bank_.on_message(ProtoMsg::kGetM, 0, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 2u);
+  EXPECT_EQ(fabric_.sent[0].type, ProtoMsg::kInv);
+  EXPECT_EQ(fabric_.sent[1].type, ProtoMsg::kInv);
+
+  bank_.on_message(ProtoMsg::kInvAck, 1, 4, in_id_++);
+  settle();
+  EXPECT_EQ(fabric_.sent.size(), 2u);  // waits for the second ack
+  bank_.on_message(ProtoMsg::kInvAck, 2, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 3u);
+  EXPECT_EQ(last().type, ProtoMsg::kDataM);
+  EXPECT_EQ(last().dst, 0);
+}
+
+TEST_F(L2BankTest, UpgradingSharerIsNotInvalidated) {
+  bank_.on_message(ProtoMsg::kGetS, 1, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++);
+  settle();
+  fabric_.sent.clear();
+
+  // The only sharer upgrades: no Inv needed, DataM directly.
+  bank_.on_message(ProtoMsg::kGetM, 1, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 1u);
+  EXPECT_EQ(last().type, ProtoMsg::kDataM);
+  EXPECT_EQ(last().dst, 1);
+}
+
+TEST_F(L2BankTest, GetSAgainstDirtyOwnerRecalls) {
+  bank_.on_message(ProtoMsg::kGetM, 1, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++);
+  settle();
+  fabric_.sent.clear();
+
+  bank_.on_message(ProtoMsg::kGetS, 2, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 1u);
+  EXPECT_EQ(last().type, ProtoMsg::kRecall);
+  EXPECT_EQ(last().dst, 1);
+
+  bank_.on_message(ProtoMsg::kRecallData, 1, 4, in_id_++);
+  settle();
+  ASSERT_EQ(fabric_.sent.size(), 2u);
+  EXPECT_EQ(last().type, ProtoMsg::kData);
+  EXPECT_EQ(last().dst, 2);
+}
+
+TEST_F(L2BankTest, CrossingPutMResolvesRecall) {
+  bank_.on_message(ProtoMsg::kGetM, 1, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kGetS, 2, 4, in_id_++);
+  settle();  // Recall is in flight to node 1
+  fabric_.sent.clear();
+
+  // Node 1 evicted concurrently: its PutM crosses the Recall.
+  bank_.on_message(ProtoMsg::kPutM, 1, 4, in_id_++);
+  settle();
+  // Bank must (a) ack the writeback, (b) serve the reader.
+  ASSERT_EQ(fabric_.sent.size(), 2u);
+  EXPECT_EQ(fabric_.sent[0].type, ProtoMsg::kWbAck);
+  EXPECT_EQ(fabric_.sent[0].dst, 1);
+  EXPECT_EQ(fabric_.sent[1].type, ProtoMsg::kData);
+  EXPECT_EQ(fabric_.sent[1].dst, 2);
+
+  // The late stale answer is dropped silently.
+  bank_.on_message(ProtoMsg::kRecallStale, 1, 4, in_id_++);
+  settle();
+  EXPECT_EQ(fabric_.sent.size(), 2u);
+}
+
+TEST_F(L2BankTest, RequestsOnBusyLineAreDeferredFifo) {
+  bank_.on_message(ProtoMsg::kGetS, 1, 4, in_id_++);
+  settle();  // busy: WaitMem
+  bank_.on_message(ProtoMsg::kGetS, 2, 4, in_id_++);
+  bank_.on_message(ProtoMsg::kGetS, 0, 4, in_id_++);
+  settle();
+  // Nothing served yet beyond the MemRead.
+  ASSERT_EQ(fabric_.sent.size(), 1u);
+
+  bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 2, 4, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kUnblock, 0, 4, in_id_++);
+  settle();
+  // Data to 1 (original), then deferred 2, then deferred 0 — in order.
+  ASSERT_EQ(fabric_.sent.size(), 4u);
+  EXPECT_EQ(fabric_.sent[1].dst, 1);
+  EXPECT_EQ(fabric_.sent[2].dst, 2);
+  EXPECT_EQ(fabric_.sent[3].dst, 0);
+  EXPECT_TRUE(bank_.quiescent());
+}
+
+TEST_F(L2BankTest, PutMFromNonOwnerThrows) {
+  EXPECT_THROW(bank_.on_message(ProtoMsg::kPutM, 1, 4, in_id_++),
+               std::logic_error);
+}
+
+TEST_F(L2BankTest, StrayAcksThrow) {
+  EXPECT_THROW(bank_.on_message(ProtoMsg::kInvAck, 1, 4, in_id_++),
+               std::logic_error);
+  EXPECT_THROW(bank_.on_message(ProtoMsg::kRecallData, 1, 4, in_id_++),
+               std::logic_error);
+  EXPECT_THROW(bank_.on_message(ProtoMsg::kMemData, 3, 4, in_id_++),
+               std::logic_error);
+  EXPECT_THROW(bank_.on_message(ProtoMsg::kUnblock, 1, 4, in_id_++),
+               std::logic_error);
+}
+
+TEST_F(L2BankTest, DirtyL2VictimWritesBackToMemory) {
+  // Fill both ways of set 0 with dirty (PutM-absorbed) lines, then force a
+  // third insert into the same set: the LRU dirty victim must MemWrite.
+  for (const std::uint64_t line : {4u, 8u}) {
+    bank_.on_message(ProtoMsg::kGetM, 1, line, in_id_++);
+    settle();
+    bank_.on_message(ProtoMsg::kMemData, 3, line, in_id_++);
+    settle();
+    bank_.on_message(ProtoMsg::kUnblock, 1, line, in_id_++);
+    settle();
+    bank_.on_message(ProtoMsg::kPutM, 1, line, in_id_++);
+    settle();
+  }
+  fabric_.sent.clear();
+  // Lines 4, 8, 12 all map to set 0 (4 sets): inserting 12's data evicts.
+  bank_.on_message(ProtoMsg::kGetS, 2, 12, in_id_++);
+  settle();
+  bank_.on_message(ProtoMsg::kMemData, 3, 12, in_id_++);
+  settle();
+  bool wrote_back = false;
+  for (const auto& m : fabric_.sent) {
+    if (m.type == ProtoMsg::kMemWrite) wrote_back = true;
+  }
+  EXPECT_TRUE(wrote_back);
+}
+
+}  // namespace
+}  // namespace sctm::fullsys

@@ -1,0 +1,100 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sctm::noc {
+namespace {
+
+TEST(Topology, MeshBasics) {
+  const auto t = Topology::mesh(4, 3);
+  EXPECT_EQ(t.node_count(), 12);
+  EXPECT_EQ(t.radix(), 4);
+  EXPECT_EQ(t.local_port(), 4);
+  EXPECT_EQ(t.port_count(), 5);
+}
+
+TEST(Topology, CoordRoundTrip) {
+  const auto t = Topology::mesh(5, 4);
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(t.node_at(t.coords(n)), n);
+  }
+}
+
+TEST(Topology, MeshNeighborsAndEdges) {
+  const auto t = Topology::mesh(3, 3);
+  // Center node 4 at (1,1).
+  EXPECT_EQ(t.neighbor(4, kEast), 5);
+  EXPECT_EQ(t.neighbor(4, kWest), 3);
+  EXPECT_EQ(t.neighbor(4, kNorth), 1);
+  EXPECT_EQ(t.neighbor(4, kSouth), 7);
+  // Corners have no neighbors off the edge.
+  EXPECT_EQ(t.neighbor(0, kWest), kInvalidNode);
+  EXPECT_EQ(t.neighbor(0, kNorth), kInvalidNode);
+  EXPECT_EQ(t.neighbor(8, kEast), kInvalidNode);
+  EXPECT_EQ(t.neighbor(8, kSouth), kInvalidNode);
+}
+
+TEST(Topology, TorusWraps) {
+  const auto t = Topology::torus(3, 3);
+  EXPECT_EQ(t.neighbor(2, kEast), 0);
+  EXPECT_EQ(t.neighbor(0, kWest), 2);
+  EXPECT_EQ(t.neighbor(0, kNorth), 6);
+  EXPECT_EQ(t.neighbor(6, kSouth), 0);
+}
+
+TEST(Topology, RingNeighbors) {
+  const auto t = Topology::ring(5);
+  EXPECT_EQ(t.radix(), 2);
+  EXPECT_EQ(t.neighbor(4, kRingCw), 0);
+  EXPECT_EQ(t.neighbor(0, kRingCcw), 4);
+}
+
+TEST(Topology, OppositeDirections) {
+  EXPECT_EQ(Topology::opposite(kEast), kWest);
+  EXPECT_EQ(Topology::opposite(kWest), kEast);
+  EXPECT_EQ(Topology::opposite(kNorth), kSouth);
+  EXPECT_EQ(Topology::opposite(kSouth), kNorth);
+}
+
+TEST(Topology, MeshDistanceIsManhattan) {
+  const auto t = Topology::mesh(4, 4);
+  EXPECT_EQ(t.distance(0, 15), 6);
+  EXPECT_EQ(t.distance(0, 3), 3);
+  EXPECT_EQ(t.distance(5, 5), 0);
+}
+
+TEST(Topology, TorusDistanceUsesWrap) {
+  const auto t = Topology::torus(4, 4);
+  EXPECT_EQ(t.distance(0, 3), 1);   // wrap in x
+  EXPECT_EQ(t.distance(0, 12), 1);  // wrap in y
+  EXPECT_EQ(t.distance(0, 15), 2);
+}
+
+TEST(Topology, RingDistanceShortestWay) {
+  const auto t = Topology::ring(6);
+  EXPECT_EQ(t.distance(0, 3), 3);
+  EXPECT_EQ(t.distance(0, 5), 1);
+  EXPECT_EQ(t.distance(1, 4), 3);
+}
+
+TEST(Topology, MeanDistanceMatchesClosedFormForRing) {
+  // Ring of n=4: distances from any node: 1,2,1 -> mean 4/3.
+  const auto t = Topology::ring(4);
+  EXPECT_NEAR(t.mean_distance(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Topology, InvalidArgumentsThrow) {
+  EXPECT_THROW(Topology::mesh(0, 3), std::invalid_argument);
+  EXPECT_THROW(Topology::ring(1), std::invalid_argument);
+}
+
+TEST(Topology, DescribeMentionsShape) {
+  EXPECT_NE(Topology::mesh(2, 2).describe().find("mesh"), std::string::npos);
+  EXPECT_NE(Topology::torus(2, 2).describe().find("torus"), std::string::npos);
+  EXPECT_NE(Topology::ring(4).describe().find("ring"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sctm::noc

@@ -1,0 +1,171 @@
+#include "noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sctm::noc {
+namespace {
+
+TEST(Patterns, NeverReturnsSelf) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  for (const auto p :
+       {TrafficPattern::kUniform, TrafficPattern::kTranspose,
+        TrafficPattern::kBitComplement, TrafficPattern::kBitReverse,
+        TrafficPattern::kTornado, TrafficPattern::kNeighbor,
+        TrafficPattern::kHotspot, TrafficPattern::kShuffle,
+        TrafficPattern::kBitRotate}) {
+    for (NodeId s = 0; s < t.node_count(); ++s) {
+      for (int i = 0; i < 8; ++i) {
+        const NodeId d = pattern_destination(t, p, s, rng);
+        EXPECT_NE(d, s) << to_string(p);
+        EXPECT_TRUE(t.valid_node(d)) << to_string(p);
+      }
+    }
+  }
+}
+
+TEST(Patterns, TransposeMapsCoordinates) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  // (1,2) = node 9 -> (2,1) = node 6.
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kTranspose, 9, rng), 6);
+}
+
+TEST(Patterns, BitComplementIsInvolutionAcrossFabric) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  const NodeId d = pattern_destination(t, TrafficPattern::kBitComplement, 0, rng);
+  EXPECT_EQ(d, 15);
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kBitComplement, 15, rng), 0);
+}
+
+TEST(Patterns, TornadoHalfwayShift) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  // (0,0) -> (2,2) = node 10.
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kTornado, 0, rng), 10);
+}
+
+TEST(Patterns, NeighborIsAdjacentInX) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kNeighbor, 5, rng), 6);
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kNeighbor, 3, rng), 0);
+}
+
+TEST(Patterns, ShuffleRotatesIndexLeft) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  // 16 nodes = 4 bits. 5 = 0101 -> 1010 = 10.
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kShuffle, 5, rng), 10);
+  // 12 = 1100 -> 1001 = 9.
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kShuffle, 12, rng), 9);
+}
+
+TEST(Patterns, BitRotateRotatesIndexRight) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(1);
+  // 5 = 0101 -> 1010 = 10 (right-rotate of 4 bits).
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kBitRotate, 5, rng), 10);
+  // 6 = 0110 -> 0011 = 3.
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kBitRotate, 6, rng), 3);
+}
+
+TEST(Patterns, HotspotConcentratesTraffic) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(5);
+  std::map<NodeId, int> hits;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits[pattern_destination(t, TrafficPattern::kHotspot, 5, rng,
+                             /*hotspot=*/0, /*fraction=*/0.5)]++;
+  }
+  // Node 0 should receive roughly half plus its uniform share.
+  EXPECT_GT(hits[0], n * 4 / 10);
+  EXPECT_LT(hits[0], n * 6 / 10);
+}
+
+TEST(Patterns, UniformSpreadsTraffic) {
+  const auto t = Topology::mesh(4, 4);
+  Rng rng(6);
+  std::map<NodeId, int> hits;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    hits[pattern_destination(t, TrafficPattern::kUniform, 5, rng)]++;
+  }
+  const double expect = static_cast<double>(n) / 15.0;
+  for (NodeId d = 0; d < 16; ++d) {
+    if (d == 5) continue;
+    EXPECT_NEAR(hits[d], expect, expect * 0.2) << d;
+  }
+}
+
+TEST(TrafficGenerator, RejectsBadRate) {
+  Simulator sim;
+  const auto t = Topology::mesh(2, 2);
+  IdealNetwork net(sim, "net", t, {});
+  TrafficGenerator::Params p;
+  p.injection_rate = 1.5;
+  EXPECT_THROW(TrafficGenerator(sim, "gen", net, t, p),
+               std::invalid_argument);
+}
+
+TEST(TrafficGenerator, DeliversEverythingOnIdealNetwork) {
+  Simulator sim;
+  const auto t = Topology::mesh(4, 4);
+  IdealNetwork net(sim, "net", t, {});
+  TrafficGenerator::Params p;
+  p.injection_rate = 0.2;
+  p.warmup = 100;
+  p.measure = 1000;
+  p.seed = 42;
+  TrafficGenerator gen(sim, "gen", net, t, p);
+  gen.run_to_completion();
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.injected_count(), net.delivered_count());
+  EXPECT_GT(gen.offered(), 0u);
+  // Ideal network delivers everything offered during measurement; all of it
+  // shows up in the latency sample (throughput misses only the window tail).
+  EXPECT_EQ(gen.latency().count(), gen.offered());
+  // Throughput window shifts by the pipeline fill: agreement within 2%.
+  EXPECT_NEAR(static_cast<double>(gen.measured_delivered()),
+              static_cast<double>(gen.offered()),
+              0.02 * static_cast<double>(gen.offered()));
+}
+
+TEST(TrafficGenerator, ThroughputTracksRateWhenUncongested) {
+  Simulator sim;
+  const auto t = Topology::mesh(4, 4);
+  IdealNetwork net(sim, "net", t, {});
+  TrafficGenerator::Params p;
+  p.injection_rate = 0.1;
+  p.warmup = 200;
+  p.measure = 5000;
+  p.seed = 7;
+  TrafficGenerator gen(sim, "gen", net, t, p);
+  gen.run_to_completion();
+  EXPECT_NEAR(gen.throughput(), 0.1, 0.01);
+}
+
+TEST(TrafficGenerator, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    const auto t = Topology::mesh(4, 4);
+    IdealNetwork net(sim, "net", t, {});
+    TrafficGenerator::Params p;
+    p.injection_rate = 0.15;
+    p.warmup = 50;
+    p.measure = 500;
+    p.seed = seed;
+    TrafficGenerator gen(sim, "gen", net, t, p);
+    gen.run_to_completion();
+    return std::pair{gen.offered(), gen.latency().mean()};
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+}  // namespace
+}  // namespace sctm::noc

@@ -1,0 +1,96 @@
+#include "onoc/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "onoc/devices.hpp"
+
+namespace sctm::onoc {
+namespace {
+
+TEST(Devices, TimeOfFlightScalesWithLength) {
+  WaveguideParams wg;
+  const double t1 = time_of_flight_s(1.0, wg);
+  const double t2 = time_of_flight_s(2.0, wg);
+  EXPECT_NEAR(t2, 2 * t1, 1e-18);
+  // 1 cm at group index 4.2: ~140 ps.
+  EXPECT_NEAR(t1, 1.4e-10, 1e-11);
+}
+
+TEST(Devices, RingCountFormula) {
+  // 16 nodes, 15 writable channels each, 8 lambdas:
+  // modulators 16*15*8 + filters 16*8.
+  EXPECT_EQ(total_ring_count(16, 15, 8), 16L * 15 * 8 + 16 * 8);
+}
+
+TEST(Loss, ComponentsAreAdditive) {
+  LossBudgetInputs in;
+  const auto b = compute_loss(in);
+  EXPECT_NEAR(b.total_db(),
+              b.coupler_db + b.propagation_db + b.through_rings_db +
+                  b.crossings_db + b.insertion_db + b.drop_db,
+              1e-12);
+  EXPECT_GT(b.total_db(), 0.0);
+}
+
+TEST(Loss, MoreNodesMoreThroughLoss) {
+  LossBudgetInputs small;
+  small.nodes = 16;
+  LossBudgetInputs big = small;
+  big.nodes = 64;
+  EXPECT_GT(compute_loss(big).through_rings_db,
+            compute_loss(small).through_rings_db);
+  EXPECT_GT(compute_loss(big).total_db(), compute_loss(small).total_db());
+}
+
+TEST(Loss, MoreWavelengthsMoreThroughLoss) {
+  LossBudgetInputs a;
+  a.wavelengths = 8;
+  LossBudgetInputs b = a;
+  b.wavelengths = 64;
+  EXPECT_GT(compute_loss(b).through_rings_db, compute_loss(a).through_rings_db);
+}
+
+TEST(Laser, PowerCoversLossPlusSensitivityPlusMargin) {
+  LossBudgetInputs in;
+  const auto budget = compute_loss(in);
+  const auto laser = compute_laser(in);
+  EXPECT_NEAR(laser.per_wavelength_dbm,
+              in.detector.sensitivity_dbm + budget.total_db() +
+                  in.laser.power_margin_db,
+              1e-12);
+}
+
+TEST(Laser, ElectricalExceedsOpticalByEfficiency) {
+  LossBudgetInputs in;
+  const auto laser = compute_laser(in);
+  EXPECT_NEAR(laser.total_electrical_mw * in.laser.wall_plug_efficiency,
+              laser.total_optical_mw, 1e-9);
+  EXPECT_GT(laser.total_electrical_mw, laser.total_optical_mw);
+}
+
+TEST(Laser, PowerGrowsSuperlinearlyWithRadix) {
+  LossBudgetInputs a;
+  a.nodes = 16;
+  a.channels_per_node = 15;
+  LossBudgetInputs b = a;
+  b.nodes = 64;
+  b.channels_per_node = 63;
+  const auto pa = compute_laser(a);
+  const auto pb = compute_laser(b);
+  // 4x nodes -> more than 4x optical power (loss grows too).
+  EXPECT_GT(pb.total_optical_mw, 4.0 * pa.total_optical_mw);
+}
+
+TEST(Laser, RingHeatingTracksRingCount) {
+  LossBudgetInputs in;
+  const auto laser = compute_laser(in);
+  EXPECT_EQ(laser.ring_count,
+            total_ring_count(in.nodes, in.channels_per_node, in.wavelengths));
+  EXPECT_NEAR(laser.ring_heating_mw,
+              static_cast<double>(laser.ring_count) * in.ring.heating_uw * 1e-3,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace sctm::onoc

@@ -1,0 +1,88 @@
+#include "onoc/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sctm::onoc {
+namespace {
+
+TEST(TokenRing, GrantImmediateWhenTokenAtRequester) {
+  TokenRing ring(8, 1);
+  // Token starts at node 0.
+  EXPECT_EQ(ring.acquire(0, 0, 10), 0u);
+}
+
+TEST(TokenRing, WaitsForTokenToTravel) {
+  TokenRing ring(8, 1);
+  // Token at 0, requester at 5 -> 5 hops.
+  EXPECT_EQ(ring.acquire(5, 0, 10), 5u);
+}
+
+TEST(TokenRing, HopLatencyScalesWait) {
+  TokenRing ring(8, 4);
+  EXPECT_EQ(ring.acquire(5, 0, 10), 20u);
+}
+
+TEST(TokenRing, ChannelHoldDelaysNextGrant) {
+  TokenRing ring(8, 1);
+  const Cycle g1 = ring.acquire(0, 0, 100);  // holds [0, 100)
+  EXPECT_EQ(g1, 0u);
+  // Node 1 requests at t=10: token frees at 100 at pos 0... then 1 hop.
+  EXPECT_EQ(ring.acquire(1, 10, 5), 101u);
+}
+
+TEST(TokenRing, TokenRotatesWhileIdle) {
+  TokenRing ring(8, 1);
+  (void)ring.acquire(0, 0, 4);  // free at 4, pos 0
+  // At t=10 the token has idled 6 cycles -> position 6.
+  EXPECT_EQ(ring.position_at(10), 6);
+  // Requester 6 at t=10 gets it instantly.
+  EXPECT_EQ(ring.acquire(6, 10, 1), 10u);
+}
+
+TEST(TokenRing, WrapAroundDistance) {
+  TokenRing ring(8, 1);
+  (void)ring.acquire(5, 0, 1);  // grant at 5, free at 6, pos 5
+  // Node 3 at t=6: distance (3-5) mod 8 = 6.
+  EXPECT_EQ(ring.acquire(3, 6, 1), 12u);
+}
+
+TEST(TokenRing, SequentialRequestsSerialize) {
+  TokenRing ring(4, 1);
+  const Cycle g1 = ring.acquire(1, 0, 10);
+  const Cycle g2 = ring.acquire(2, 0, 10);
+  const Cycle g3 = ring.acquire(3, 0, 10);
+  EXPECT_EQ(g1, 1u);
+  EXPECT_EQ(g2, g1 + 10 + 1);  // one hop 1->2 after hold
+  EXPECT_EQ(g3, g2 + 10 + 1);
+  EXPECT_EQ(ring.grants(), 3u);
+}
+
+TEST(TokenRing, OutOfOrderCallThrows) {
+  TokenRing ring(4, 1);
+  (void)ring.acquire(1, 10, 1);
+  EXPECT_THROW(ring.acquire(2, 5, 1), std::logic_error);
+}
+
+TEST(TokenRing, InvalidArgsThrow) {
+  EXPECT_THROW(TokenRing(0, 1), std::invalid_argument);
+  EXPECT_THROW(TokenRing(4, 0), std::invalid_argument);
+  TokenRing ring(4, 1);
+  EXPECT_THROW(ring.acquire(4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ring.acquire(-1, 0, 1), std::invalid_argument);
+}
+
+TEST(TokenRing, GrantNeverBeforeRequest) {
+  TokenRing ring(16, 2);
+  Cycle t = 0;
+  for (int i = 0; i < 100; ++i) {
+    const NodeId s = (i * 7) % 16;
+    const Cycle g = ring.acquire(s, t, 3);
+    EXPECT_GE(g, t);
+    t += 5;
+  }
+}
+
+}  // namespace
+}  // namespace sctm::onoc

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sctm {
+namespace {
+
+TEST(EventQueue, EmptyState) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kNoCycle);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsStability) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1, [&] { order.push_back(0); });
+  q.push(2, [&] { order.push_back(1); });
+  q.pop().fn();
+  q.push(2, [&] { order.push_back(2); });
+  q.push(2, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, NextTimeTracksHead) {
+  EventQueue q;
+  q.push(7, [] {});
+  q.push(3, [] {});
+  EXPECT_EQ(q.next_time(), 3u);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TotalPushedCounts) {
+  EventQueue q;
+  EXPECT_EQ(q.total_pushed(), 0u);
+  q.push(1, [] {});
+  q.push(1, [] {});
+  q.pop();
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+}  // namespace
+}  // namespace sctm

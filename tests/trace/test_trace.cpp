@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/driver.hpp"
+#include "trace/dependency_graph.hpp"
+#include "trace/trace_io.hpp"
+
+namespace sctm::trace {
+namespace {
+
+Trace capture_small(const char* app_name = "fft") {
+  fullsys::AppParams app;
+  app.name = app_name;
+  app.cores = 16;
+  app.lines_per_core = 8;
+  app.iterations = 1;
+  fullsys::FullSysParams sys;
+  sys.l1_sets = 8;
+  sys.l1_ways = 2;
+  sys.l2_sets = 32;
+  sys.l2_ways = 4;
+  core::NetSpec net;
+  net.kind = core::NetKind::kEnoc;
+  return core::run_execution(app, net, sys).trace;
+}
+
+TEST(TraceCaptureTest, ProducesConsistentTrace) {
+  const Trace t = capture_small();
+  EXPECT_GT(t.records.size(), 100u);
+  EXPECT_EQ(t.nodes, 16);
+  EXPECT_EQ(t.app, "fft");
+  EXPECT_GT(t.capture_runtime, 0u);
+  for (const auto& r : t.records) {
+    EXPECT_NE(r.arrive_time, kNoCycle);
+    EXPECT_GE(r.arrive_time, r.inject_time);
+  }
+}
+
+TEST(TraceCaptureTest, DependenciesValidateAsDag) {
+  const Trace t = capture_small();
+  const DependencyGraph g(t);  // throws on any inconsistency
+  EXPECT_EQ(g.size(), t.records.size());
+  EXPECT_GT(g.mean_deps(), 0.5);
+  EXPECT_GT(g.critical_path_length(), 4u);
+  EXPECT_GE(g.roots().size(), 1u);
+  // Most records are causally chained (this is the property SCTM exploits).
+  EXPECT_LT(g.roots().size(), t.records.size() / 4);
+}
+
+TEST(TraceIo, BinaryRoundTripIsExact) {
+  const Trace t = capture_small();
+  std::stringstream buf;
+  write_binary(t, buf);
+  const Trace back = read_binary(buf);
+  EXPECT_EQ(t, back);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace t = capture_small("jacobi");
+  const std::string path = "/tmp/sctm_trace_test.bin";
+  write_binary_file(t, path);
+  const Trace back = read_binary_file(path);
+  EXPECT_EQ(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "NOTATRACE-------";
+  EXPECT_THROW(read_binary(buf), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedInputRejected) {
+  const Trace t = capture_small();
+  std::stringstream buf;
+  write_binary(t, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIo, TextDumpMentionsEveryRecord) {
+  Trace t;
+  t.app = "demo";
+  t.nodes = 2;
+  TraceRecord r;
+  r.id = 7;
+  r.src = 0;
+  r.dst = 1;
+  r.size_bytes = 64;
+  r.inject_time = 10;
+  r.arrive_time = 20;
+  t.records.push_back(r);
+  const auto text = to_text(t);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("0->1"), std::string::npos);
+}
+
+TEST(DependencyGraphTest, RejectsUnknownParent) {
+  Trace t;
+  t.nodes = 2;
+  TraceRecord r;
+  r.id = 1;
+  r.src = 0;
+  r.dst = 1;
+  r.inject_time = 0;
+  r.arrive_time = 5;
+  r.deps.push_back({999, 0});
+  t.records.push_back(r);
+  EXPECT_THROW(DependencyGraph g(t), std::invalid_argument);
+}
+
+TEST(DependencyGraphTest, RejectsForwardDependency) {
+  Trace t;
+  t.nodes = 2;
+  TraceRecord a;
+  a.id = 1;
+  a.src = 0;
+  a.dst = 1;
+  a.inject_time = 0;
+  a.arrive_time = 5;
+  a.deps.push_back({2, 0});  // depends on a later message
+  TraceRecord b;
+  b.id = 2;
+  b.src = 1;
+  b.dst = 0;
+  b.inject_time = 5;
+  b.arrive_time = 9;
+  t.records = {a, b};
+  EXPECT_THROW(DependencyGraph g(t), std::invalid_argument);
+}
+
+TEST(DependencyGraphTest, RejectsInconsistentSlack) {
+  Trace t;
+  t.nodes = 2;
+  TraceRecord a;
+  a.id = 1;
+  a.src = 0;
+  a.dst = 1;
+  a.inject_time = 0;
+  a.arrive_time = 5;
+  TraceRecord b;
+  b.id = 2;
+  b.src = 1;
+  b.dst = 0;
+  b.inject_time = 9;
+  b.arrive_time = 15;
+  b.deps.push_back({1, 3});  // 5 + 3 != 9
+  t.records = {a, b};
+  EXPECT_THROW(DependencyGraph g(t), std::invalid_argument);
+}
+
+TEST(DependencyGraphTest, ChildrenAndRoots) {
+  Trace t;
+  t.nodes = 2;
+  TraceRecord a;
+  a.id = 1;
+  a.src = 0;
+  a.dst = 1;
+  a.inject_time = 0;
+  a.arrive_time = 5;
+  TraceRecord b;
+  b.id = 2;
+  b.src = 1;
+  b.dst = 0;
+  b.inject_time = 7;
+  b.arrive_time = 15;
+  b.deps.push_back({1, 2});
+  t.records = {a, b};
+  const DependencyGraph g(t);
+  EXPECT_EQ(g.roots().size(), 1u);
+  EXPECT_EQ(g.roots()[0], 0u);
+  ASSERT_EQ(g.children_of(0).size(), 1u);
+  EXPECT_EQ(g.children_of(0)[0], 1u);
+  EXPECT_EQ(g.critical_path_length(), 2u);
+  EXPECT_EQ(g.index_of(2), 1u);
+  EXPECT_THROW(g.index_of(42), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sctm::trace
