@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_deps.dir/abl_deps.cpp.o"
+  "CMakeFiles/abl_deps.dir/abl_deps.cpp.o.d"
+  "abl_deps"
+  "abl_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dse.dir/ext_dse.cpp.o"
+  "CMakeFiles/ext_dse.dir/ext_dse.cpp.o.d"
+  "ext_dse"
+  "ext_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_flexishare.dir/ext_flexishare.cpp.o"
+  "CMakeFiles/ext_flexishare.dir/ext_flexishare.cpp.o.d"
+  "ext_flexishare"
+  "ext_flexishare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flexishare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

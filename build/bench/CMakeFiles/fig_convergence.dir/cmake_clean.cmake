@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_convergence.dir/fig_convergence.cpp.o"
+  "CMakeFiles/fig_convergence.dir/fig_convergence.cpp.o.d"
+  "fig_convergence"
+  "fig_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

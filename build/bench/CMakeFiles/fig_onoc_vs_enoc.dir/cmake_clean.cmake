@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_onoc_vs_enoc.dir/fig_onoc_vs_enoc.cpp.o"
+  "CMakeFiles/fig_onoc_vs_enoc.dir/fig_onoc_vs_enoc.cpp.o.d"
+  "fig_onoc_vs_enoc"
+  "fig_onoc_vs_enoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_onoc_vs_enoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

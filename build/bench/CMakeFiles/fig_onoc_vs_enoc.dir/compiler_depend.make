@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_onoc_vs_enoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_simtime.dir/fig_simtime.cpp.o"
+  "CMakeFiles/fig_simtime.dir/fig_simtime.cpp.o.d"
+  "fig_simtime"
+  "fig_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speed_gap.dir/fig_speed_gap.cpp.o"
+  "CMakeFiles/fig_speed_gap.dir/fig_speed_gap.cpp.o.d"
+  "fig_speed_gap"
+  "fig_speed_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speed_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

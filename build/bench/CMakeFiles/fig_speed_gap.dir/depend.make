@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_speed_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_casestudy.dir/tab_casestudy.cpp.o"
+  "CMakeFiles/tab_casestudy.dir/tab_casestudy.cpp.o.d"
+  "tab_casestudy"
+  "tab_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

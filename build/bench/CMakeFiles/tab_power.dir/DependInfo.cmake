@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_power.cpp" "bench/CMakeFiles/tab_power.dir/tab_power.cpp.o" "gcc" "bench/CMakeFiles/tab_power.dir/tab_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sctm_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sctm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullsys/CMakeFiles/sctm_fullsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/onoc/CMakeFiles/sctm_onoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/enoc/CMakeFiles/sctm_enoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

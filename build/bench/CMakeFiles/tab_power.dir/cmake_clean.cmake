@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_power.dir/tab_power.cpp.o"
+  "CMakeFiles/tab_power.dir/tab_power.cpp.o.d"
+  "tab_power"
+  "tab_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onoc_vs_enoc.dir/onoc_vs_enoc.cpp.o"
+  "CMakeFiles/onoc_vs_enoc.dir/onoc_vs_enoc.cpp.o.d"
+  "onoc_vs_enoc"
+  "onoc_vs_enoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onoc_vs_enoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

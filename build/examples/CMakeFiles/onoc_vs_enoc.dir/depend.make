@@ -1,0 +1,2 @@
+# Empty dependencies file for onoc_vs_enoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_cli.dir/sctm_cli.cpp.o"
+  "CMakeFiles/sctm_cli.dir/sctm_cli.cpp.o.d"
+  "sctm_cli"
+  "sctm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_injection.dir/sweep_injection.cpp.o"
+  "CMakeFiles/sweep_injection.dir/sweep_injection.cpp.o.d"
+  "sweep_injection"
+  "sweep_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_capture_replay.dir/trace_capture_replay.cpp.o"
+  "CMakeFiles/trace_capture_replay.dir/trace_capture_replay.cpp.o.d"
+  "trace_capture_replay"
+  "trace_capture_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_capture_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_common.dir/config.cpp.o"
+  "CMakeFiles/sctm_common.dir/config.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/histogram.cpp.o"
+  "CMakeFiles/sctm_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/log.cpp.o"
+  "CMakeFiles/sctm_common.dir/log.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/parallel.cpp.o"
+  "CMakeFiles/sctm_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/rng.cpp.o"
+  "CMakeFiles/sctm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/stats.cpp.o"
+  "CMakeFiles/sctm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/table.cpp.o"
+  "CMakeFiles/sctm_common.dir/table.cpp.o.d"
+  "CMakeFiles/sctm_common.dir/units.cpp.o"
+  "CMakeFiles/sctm_common.dir/units.cpp.o.d"
+  "libsctm_common.a"
+  "libsctm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_core_lib.dir/driver.cpp.o"
+  "CMakeFiles/sctm_core_lib.dir/driver.cpp.o.d"
+  "CMakeFiles/sctm_core_lib.dir/error_metrics.cpp.o"
+  "CMakeFiles/sctm_core_lib.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/sctm_core_lib.dir/experiment.cpp.o"
+  "CMakeFiles/sctm_core_lib.dir/experiment.cpp.o.d"
+  "CMakeFiles/sctm_core_lib.dir/explore.cpp.o"
+  "CMakeFiles/sctm_core_lib.dir/explore.cpp.o.d"
+  "CMakeFiles/sctm_core_lib.dir/replay.cpp.o"
+  "CMakeFiles/sctm_core_lib.dir/replay.cpp.o.d"
+  "libsctm_core_lib.a"
+  "libsctm_core_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_core_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsctm_core_lib.a"
+)

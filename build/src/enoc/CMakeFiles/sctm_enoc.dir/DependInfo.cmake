@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enoc/arbiter.cpp" "src/enoc/CMakeFiles/sctm_enoc.dir/arbiter.cpp.o" "gcc" "src/enoc/CMakeFiles/sctm_enoc.dir/arbiter.cpp.o.d"
+  "/root/repo/src/enoc/enoc_network.cpp" "src/enoc/CMakeFiles/sctm_enoc.dir/enoc_network.cpp.o" "gcc" "src/enoc/CMakeFiles/sctm_enoc.dir/enoc_network.cpp.o.d"
+  "/root/repo/src/enoc/params.cpp" "src/enoc/CMakeFiles/sctm_enoc.dir/params.cpp.o" "gcc" "src/enoc/CMakeFiles/sctm_enoc.dir/params.cpp.o.d"
+  "/root/repo/src/enoc/power.cpp" "src/enoc/CMakeFiles/sctm_enoc.dir/power.cpp.o" "gcc" "src/enoc/CMakeFiles/sctm_enoc.dir/power.cpp.o.d"
+  "/root/repo/src/enoc/router.cpp" "src/enoc/CMakeFiles/sctm_enoc.dir/router.cpp.o" "gcc" "src/enoc/CMakeFiles/sctm_enoc.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_enoc.dir/arbiter.cpp.o"
+  "CMakeFiles/sctm_enoc.dir/arbiter.cpp.o.d"
+  "CMakeFiles/sctm_enoc.dir/enoc_network.cpp.o"
+  "CMakeFiles/sctm_enoc.dir/enoc_network.cpp.o.d"
+  "CMakeFiles/sctm_enoc.dir/params.cpp.o"
+  "CMakeFiles/sctm_enoc.dir/params.cpp.o.d"
+  "CMakeFiles/sctm_enoc.dir/power.cpp.o"
+  "CMakeFiles/sctm_enoc.dir/power.cpp.o.d"
+  "CMakeFiles/sctm_enoc.dir/router.cpp.o"
+  "CMakeFiles/sctm_enoc.dir/router.cpp.o.d"
+  "libsctm_enoc.a"
+  "libsctm_enoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_enoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

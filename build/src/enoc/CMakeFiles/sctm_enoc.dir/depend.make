@@ -1,0 +1,2 @@
+# Empty dependencies file for sctm_enoc.
+# This may be replaced when dependencies are built.

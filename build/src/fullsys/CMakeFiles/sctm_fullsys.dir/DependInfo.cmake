@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fullsys/app.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/app.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/app.cpp.o.d"
+  "/root/repo/src/fullsys/barrier.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/barrier.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/barrier.cpp.o.d"
+  "/root/repo/src/fullsys/cache.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/cache.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/cache.cpp.o.d"
+  "/root/repo/src/fullsys/cmp_system.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/cmp_system.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/cmp_system.cpp.o.d"
+  "/root/repo/src/fullsys/core_model.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/core_model.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/core_model.cpp.o.d"
+  "/root/repo/src/fullsys/l2bank.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/l2bank.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/l2bank.cpp.o.d"
+  "/root/repo/src/fullsys/memctrl.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/memctrl.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/memctrl.cpp.o.d"
+  "/root/repo/src/fullsys/params.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/params.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/params.cpp.o.d"
+  "/root/repo/src/fullsys/protocol.cpp" "src/fullsys/CMakeFiles/sctm_fullsys.dir/protocol.cpp.o" "gcc" "src/fullsys/CMakeFiles/sctm_fullsys.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_fullsys.dir/app.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/app.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/barrier.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/barrier.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/cache.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/cache.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/cmp_system.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/cmp_system.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/core_model.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/core_model.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/l2bank.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/l2bank.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/memctrl.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/memctrl.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/params.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/params.cpp.o.d"
+  "CMakeFiles/sctm_fullsys.dir/protocol.cpp.o"
+  "CMakeFiles/sctm_fullsys.dir/protocol.cpp.o.d"
+  "libsctm_fullsys.a"
+  "libsctm_fullsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_fullsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sctm_fullsys.
+# This may be replaced when dependencies are built.

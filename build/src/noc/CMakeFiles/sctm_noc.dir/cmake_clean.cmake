@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_noc.dir/network.cpp.o"
+  "CMakeFiles/sctm_noc.dir/network.cpp.o.d"
+  "CMakeFiles/sctm_noc.dir/routing.cpp.o"
+  "CMakeFiles/sctm_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/sctm_noc.dir/topology.cpp.o"
+  "CMakeFiles/sctm_noc.dir/topology.cpp.o.d"
+  "CMakeFiles/sctm_noc.dir/traffic.cpp.o"
+  "CMakeFiles/sctm_noc.dir/traffic.cpp.o.d"
+  "libsctm_noc.a"
+  "libsctm_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

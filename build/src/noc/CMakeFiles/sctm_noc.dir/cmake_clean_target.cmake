@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsctm_noc.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/onoc/devices.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/devices.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/devices.cpp.o.d"
+  "/root/repo/src/onoc/hybrid_network.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/hybrid_network.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/hybrid_network.cpp.o.d"
+  "/root/repo/src/onoc/loss.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/loss.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/loss.cpp.o.d"
+  "/root/repo/src/onoc/onoc_network.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/onoc_network.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/onoc_network.cpp.o.d"
+  "/root/repo/src/onoc/params.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/params.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/params.cpp.o.d"
+  "/root/repo/src/onoc/power.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/power.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/power.cpp.o.d"
+  "/root/repo/src/onoc/token.cpp" "src/onoc/CMakeFiles/sctm_onoc.dir/token.cpp.o" "gcc" "src/onoc/CMakeFiles/sctm_onoc.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enoc/CMakeFiles/sctm_enoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_onoc.dir/devices.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/devices.cpp.o.d"
+  "CMakeFiles/sctm_onoc.dir/hybrid_network.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/hybrid_network.cpp.o.d"
+  "CMakeFiles/sctm_onoc.dir/loss.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/loss.cpp.o.d"
+  "CMakeFiles/sctm_onoc.dir/onoc_network.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/onoc_network.cpp.o.d"
+  "CMakeFiles/sctm_onoc.dir/params.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/params.cpp.o.d"
+  "CMakeFiles/sctm_onoc.dir/power.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/power.cpp.o.d"
+  "CMakeFiles/sctm_onoc.dir/token.cpp.o"
+  "CMakeFiles/sctm_onoc.dir/token.cpp.o.d"
+  "libsctm_onoc.a"
+  "libsctm_onoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_onoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

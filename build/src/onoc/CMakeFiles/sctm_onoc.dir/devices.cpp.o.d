@@ -1,0 +1,3 @@
+src/onoc/CMakeFiles/sctm_onoc.dir/devices.cpp.o: \
+ /root/repo/src/onoc/devices.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/onoc/devices.hpp

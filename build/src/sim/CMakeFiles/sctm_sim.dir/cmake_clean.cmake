@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sctm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sctm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sctm_sim.dir/simulator.cpp.o.d"
+  "libsctm_sim.a"
+  "libsctm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

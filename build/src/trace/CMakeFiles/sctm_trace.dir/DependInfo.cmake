@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/capture.cpp" "src/trace/CMakeFiles/sctm_trace.dir/capture.cpp.o" "gcc" "src/trace/CMakeFiles/sctm_trace.dir/capture.cpp.o.d"
+  "/root/repo/src/trace/dependency_graph.cpp" "src/trace/CMakeFiles/sctm_trace.dir/dependency_graph.cpp.o" "gcc" "src/trace/CMakeFiles/sctm_trace.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/sctm_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/sctm_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fullsys/CMakeFiles/sctm_fullsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sctm_trace.dir/capture.cpp.o"
+  "CMakeFiles/sctm_trace.dir/capture.cpp.o.d"
+  "CMakeFiles/sctm_trace.dir/dependency_graph.cpp.o"
+  "CMakeFiles/sctm_trace.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/sctm_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/sctm_trace.dir/trace_io.cpp.o.d"
+  "libsctm_trace.a"
+  "libsctm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sctm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_parallel.cpp" "tests/CMakeFiles/test_common.dir/common/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_parallel.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sctm_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sctm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullsys/CMakeFiles/sctm_fullsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/onoc/CMakeFiles/sctm_onoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/enoc/CMakeFiles/sctm_enoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

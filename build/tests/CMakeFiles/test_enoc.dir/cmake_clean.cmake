@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enoc.dir/enoc/test_arbiter.cpp.o"
+  "CMakeFiles/test_enoc.dir/enoc/test_arbiter.cpp.o.d"
+  "CMakeFiles/test_enoc.dir/enoc/test_enoc_network.cpp.o"
+  "CMakeFiles/test_enoc.dir/enoc/test_enoc_network.cpp.o.d"
+  "CMakeFiles/test_enoc.dir/enoc/test_enoc_params.cpp.o"
+  "CMakeFiles/test_enoc.dir/enoc/test_enoc_params.cpp.o.d"
+  "CMakeFiles/test_enoc.dir/enoc/test_enoc_properties.cpp.o"
+  "CMakeFiles/test_enoc.dir/enoc/test_enoc_properties.cpp.o.d"
+  "CMakeFiles/test_enoc.dir/enoc/test_power.cpp.o"
+  "CMakeFiles/test_enoc.dir/enoc/test_power.cpp.o.d"
+  "test_enoc"
+  "test_enoc.pdb"
+  "test_enoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fullsys/test_app.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_app.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_app.cpp.o.d"
+  "/root/repo/tests/fullsys/test_cache.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_cache.cpp.o.d"
+  "/root/repo/tests/fullsys/test_cmp_system.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_cmp_system.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_cmp_system.cpp.o.d"
+  "/root/repo/tests/fullsys/test_core_model.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_core_model.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_core_model.cpp.o.d"
+  "/root/repo/tests/fullsys/test_fullsys_params.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_fullsys_params.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_fullsys_params.cpp.o.d"
+  "/root/repo/tests/fullsys/test_l2bank.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_l2bank.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_l2bank.cpp.o.d"
+  "/root/repo/tests/fullsys/test_protocol_fuzz.cpp" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_protocol_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_fullsys.dir/fullsys/test_protocol_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sctm_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sctm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/fullsys/CMakeFiles/sctm_fullsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/onoc/CMakeFiles/sctm_onoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/enoc/CMakeFiles/sctm_enoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sctm_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sctm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sctm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

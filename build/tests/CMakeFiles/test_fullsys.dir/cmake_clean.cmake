@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullsys.dir/fullsys/test_app.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_app.cpp.o.d"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_cache.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_cache.cpp.o.d"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_cmp_system.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_cmp_system.cpp.o.d"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_core_model.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_core_model.cpp.o.d"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_fullsys_params.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_fullsys_params.cpp.o.d"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_l2bank.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_l2bank.cpp.o.d"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_protocol_fuzz.cpp.o"
+  "CMakeFiles/test_fullsys.dir/fullsys/test_protocol_fuzz.cpp.o.d"
+  "test_fullsys"
+  "test_fullsys.pdb"
+  "test_fullsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/noc/test_ideal_network.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_ideal_network.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_routing.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_routing.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_topology.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_topology.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_traffic.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_traffic.cpp.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onoc.dir/onoc/test_hybrid.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_hybrid.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_loss.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_loss.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_onoc_network.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_onoc_network.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_onoc_params.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_onoc_params.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_onoc_power.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_onoc_power.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_shared_pool.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_shared_pool.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_swmr.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_swmr.cpp.o.d"
+  "CMakeFiles/test_onoc.dir/onoc/test_token.cpp.o"
+  "CMakeFiles/test_onoc.dir/onoc/test_token.cpp.o.d"
+  "test_onoc"
+  "test_onoc.pdb"
+  "test_onoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
