@@ -1,0 +1,158 @@
+// InlineFn: a move-only callable with small-buffer optimization, built for
+// the event kernel's hot path.
+//
+// std::function heap-allocates any capture larger than (typically) two
+// pointers, which put one malloc/free pair on every scheduled event. InlineFn
+// instead embeds up to kInlineCapacity bytes of capture state directly in the
+// object — sized so the simulator's hottest closures ([this, noc::Message] and
+// [this, NodeId, int, enoc::Flit], both 56 bytes) fit exactly and the whole
+// callable occupies a single 64-byte cache line. Oversized or over-aligned
+// captures fall back to one heap allocation; the fallback is counted so tests
+// can assert the common path never allocates (see heap_fallbacks()).
+//
+// Differences from std::function, on purpose:
+//  * move-only (no copy; the queue never copies events, and requiring
+//    copyability forces vector captures to deep-copy),
+//  * invoking an empty InlineFn is undefined (the queue never stores one),
+//  * no target()/target_type() RTTI machinery.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sctm {
+
+class InlineFn {
+ public:
+  /// Inline capture budget. 56 bytes + the 8-byte ops pointer = 64 bytes.
+  static constexpr std::size_t kInlineCapacity = 56;
+  static constexpr std::size_t kInlineAlign = 8;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for EventFn
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &ops_for<Fn, /*kHeap=*/false>;
+    } else {
+      Fn* p = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &p, sizeof(p));
+      ops_ = &ops_for<Fn, /*kHeap=*/true>;
+      heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineFn");
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Whether a callable of type F would be stored inline (no allocation).
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  /// Allocation-counting test hook: total heap fallbacks taken process-wide.
+  /// Steady-state kernel tests assert the delta across a run is zero.
+  static std::uint64_t heap_fallbacks() noexcept {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move into dst, end src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn, bool kHeap>
+  static Fn* target(void* storage) noexcept {
+    if constexpr (kHeap) {
+      Fn* p;
+      std::memcpy(&p, storage, sizeof(p));
+      return p;
+    } else {
+      return static_cast<Fn*>(storage);
+    }
+  }
+
+  template <typename Fn, bool kHeap>
+  static constexpr Ops ops_for = {
+      // invoke
+      [](void* s) { (*target<Fn, kHeap>(s))(); },
+      // relocate
+      [](void* d, void* s) noexcept {
+        if constexpr (kHeap || std::is_trivially_copyable_v<Fn>) {
+          std::memcpy(d, s, kHeap ? sizeof(Fn*) : sizeof(Fn));
+        } else {
+          Fn* src = target<Fn, kHeap>(s);
+          ::new (d) Fn(std::move(*src));
+          src->~Fn();
+        }
+      },
+      // destroy
+      [](void* s) noexcept {
+        if constexpr (kHeap) {
+          delete target<Fn, kHeap>(s);
+        } else {
+          target<Fn, kHeap>(s)->~Fn();
+        }
+      },
+  };
+
+  inline static std::atomic<std::uint64_t> heap_fallbacks_{0};
+
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) unsigned char buf_[kInlineCapacity];
+};
+
+static_assert(sizeof(InlineFn) == 64, "InlineFn should be one cache line");
+
+}  // namespace sctm

@@ -109,19 +109,20 @@ ReplayResult replay_once(const trace::Trace& trace,
   // cycle always precede it (link latencies are >= 1, so all deliveries for
   // cycle t were enqueued before t began).
   std::unordered_map<Cycle, std::vector<std::uint32_t>> eligible_at;
-  std::function<void(std::uint32_t, Cycle)> mark_eligible =
-      [&](std::uint32_t idx, Cycle t) {
-        auto& batch = eligible_at[t];
-        if (batch.empty()) {
-          sim.schedule_late(t, [&, t] {
-            auto node = eligible_at.extract(t);
-            auto& ids = node.mapped();
-            std::sort(ids.begin(), ids.end());
-            for (const std::uint32_t idx2 : ids) inject_record(idx2);
-          });
-        }
-        batch.push_back(idx);
+  auto mark_eligible = [&](std::uint32_t idx, Cycle t) {
+    auto& batch = eligible_at[t];
+    if (batch.empty()) {
+      auto flush = [&eligible_at, &inject_record, t] {
+        auto node = eligible_at.extract(t);
+        auto& ids = node.mapped();
+        std::sort(ids.begin(), ids.end());
+        for (const std::uint32_t idx2 : ids) inject_record(idx2);
       };
+      static_assert(InlineFn::fits_inline<decltype(flush)>());
+      sim.schedule_late(t, std::move(flush));
+    }
+    batch.push_back(idx);
+  };
 
   net->set_deliver_callback([&](const noc::Message& msg) {
     const auto idx = static_cast<std::uint32_t>(msg.tag);

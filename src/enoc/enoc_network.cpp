@@ -69,9 +69,12 @@ void EnocNetwork::forward_flit(NodeId node, int out_dir, const Flit& flit) {
           ? (out_dir == noc::kRingCw ? noc::kRingCcw : noc::kRingCw)
           : noc::Topology::opposite(out_dir);
   Flit f = flit;
-  sim().schedule_in(params_.link_latency, [this, next, arrival_port, f] {
+  auto ev = [this, next, arrival_port, f] {
     routers_[static_cast<std::size_t>(next)]->receive_flit(arrival_port, f);
-  });
+  };
+  static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                "link-traversal closure must stay within the event SBO budget");
+  sim().schedule_in(params_.link_latency, std::move(ev));
 }
 
 void EnocNetwork::eject_flit(NodeId node, const Flit& flit) {

@@ -25,14 +25,15 @@ void BarrierManager::on_arrive(NodeId src, MsgId msg_id) {
   if (static_cast<int>(arrivals_.size()) < cores_) return;
 
   ++stat_epochs_;
-  const std::vector<MsgId> causes = arrivals_;
+  std::vector<MsgId> causes = std::move(arrivals_);
   arrivals_.clear();
   arrived_.assign(arrived_.size(), false);
-  sim().schedule_in(release_latency_, [this, causes] {
-    for (NodeId c = 0; c < cores_; ++c) {
-      fabric_.send(ProtoMsg::kBarRelease, home_, c, 0, causes);
-    }
-  });
+  sim().schedule_in(release_latency_,
+                    [this, causes = std::move(causes)] {
+                      for (NodeId c = 0; c < cores_; ++c) {
+                        fabric_.send(ProtoMsg::kBarRelease, home_, c, 0, causes);
+                      }
+                    });
 }
 
 }  // namespace sctm::fullsys

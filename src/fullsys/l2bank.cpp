@@ -32,10 +32,12 @@ L2Bank::busy_snapshot() const {
 
 void L2Bank::send_after(Cycle delay, ProtoMsg type, NodeId dst,
                         std::uint64_t line, std::vector<MsgId> causes) {
-  sim().schedule_in(delay, [this, type, dst, line,
-                            causes = std::move(causes)] {
+  auto ev = [this, type, dst, line, causes = std::move(causes)] {
     fabric_.send(type, id_, dst, line, causes);
-  });
+  };
+  static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                "coherence send closure must stay within the event SBO budget");
+  sim().schedule_in(delay, std::move(ev));
 }
 
 void L2Bank::data_insert(std::uint64_t line, bool dirty, MsgId cause) {

@@ -42,10 +42,13 @@ void IdealNetwork::inject(Message msg) {
   note_injected(msg);
   const Cycle lat = model_latency(msg);
   ++in_flight_;
-  sim().schedule_in(lat, [this, msg]() mutable {
+  auto ev = [this, msg]() mutable {
     --in_flight_;
     deliver(msg);
-  });
+  };
+  static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                "delivery closure must stay within the event SBO budget");
+  sim().schedule_in(lat, std::move(ev));
 }
 
 }  // namespace sctm::noc

@@ -59,10 +59,12 @@ void OnocNetwork::inject(noc::Message msg) {
   if (msg.src == msg.dst) {
     // Local loopback: conversion + serialization only, no arbitration.
     const Cycle lat = zero_load_latency(msg);
-    sim().schedule_in(lat, [this, msg]() mutable {
+    auto ev = [this, msg]() mutable {
       --in_flight_;
       deliver(msg);
-    });
+    };
+    static_assert(InlineFn::fits_inline<decltype(ev)>());
+    sim().schedule_in(lat, std::move(ev));
     return;
   }
 
@@ -119,10 +121,13 @@ void OnocNetwork::start_transmission(noc::Message msg) {
   stat_ser_.add(static_cast<double>(ser));
   ++stat_transmissions_;
   data_bytes_ += msg.size_bytes;
-  sim().schedule_in(lat, [this, msg]() mutable {
+  auto ev = [this, msg]() mutable {
     --in_flight_;
     deliver(msg);
-  });
+  };
+  static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                "optical delivery closure must stay within the SBO budget");
+  sim().schedule_in(lat, std::move(ev));
 }
 
 void OnocNetwork::send_ctrl(CtrlKind kind, NodeId from, NodeId to,

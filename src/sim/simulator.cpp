@@ -27,13 +27,15 @@ void Simulator::schedule_late(Cycle t, EventFn fn) {
 std::uint64_t Simulator::run() { return run_until(kNoCycle); }
 
 std::uint64_t Simulator::run_until(Cycle deadline) {
+  // Batch dispatch: advance to the earliest pending cycle once, then drain
+  // that whole cycle from its wheel bucket without re-consulting the queue's
+  // front between events.
   std::uint64_t n = 0;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    auto [t, fn] = queue_.pop();
+  while (!stopped_ && !queue_.empty()) {
+    const Cycle t = queue_.next_time();
+    if (t > deadline) break;
     now_ = t;
-    fn();
-    ++executed_;
-    ++n;
+    n += queue_.drain_cycle(t, stopped_, &executed_);
   }
   if (!stopped_ && deadline != kNoCycle && now_ < deadline &&
       (queue_.empty() || queue_.next_time() > deadline)) {

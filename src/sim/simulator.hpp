@@ -3,6 +3,12 @@
 // Single-threaded by design. Components schedule closures; the kernel
 // advances time to the earliest event and never backwards. A run ends when
 // the queue drains, a deadline passes, or a component calls stop().
+//
+// The event path is allocation-free in steady state: closures are move-only
+// InlineFn callables (56-byte small-buffer budget — keep captures within it,
+// see common/inline_fn.hpp) and run_until() drains one cycle at a time from
+// the queue's calendar wheel (batch dispatch), so no per-event heap traffic
+// and no per-event priority-queue maintenance.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,137 @@
+#include "common/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sctm {
+namespace {
+
+TEST(InlineFn, EmptyIsFalse) {
+  InlineFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, InvokesSmallCapture) {
+  int hits = 0;
+  InlineFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MutableLambdaKeepsStateAcrossCalls) {
+  int out = 0;
+  InlineFn fn([&out, n = 0]() mutable { out = ++n; });
+  fn();
+  fn();
+  fn();
+  EXPECT_EQ(out, 3);
+}
+
+TEST(InlineFn, HotPathCapturesFitInline) {
+  // The two 56-byte shapes the networks schedule on every message/flit.
+  struct MessageSized {
+    std::uint64_t a, b, c, d, e;
+    std::uint32_t f, g;
+  };  // 48 bytes
+  static_assert(sizeof(MessageSized) == 48);
+  void* self = nullptr;
+  MessageSized m{};
+  auto deliver = [self, m] { (void)self; (void)m; };
+  static_assert(sizeof(deliver) == 56);
+  static_assert(InlineFn::fits_inline<decltype(deliver)>());
+  EXPECT_EQ(InlineFn::fits_inline<decltype(deliver)>(), true);
+}
+
+TEST(InlineFn, SmallCaptureDoesNotAllocate) {
+  const auto before = InlineFn::heap_fallbacks();
+  std::array<std::uint64_t, 6> payload{};  // 48 bytes, within the 56 budget
+  InlineFn fn([payload] { (void)payload; });
+  fn();
+  EXPECT_EQ(InlineFn::heap_fallbacks(), before);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeapAndCounts) {
+  const auto before = InlineFn::heap_fallbacks();
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 56
+  big[7] = 42;
+  InlineFn fn([big] { EXPECT_EQ(big[7], 42u); });
+  EXPECT_EQ(InlineFn::heap_fallbacks(), before + 1);
+  fn();
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFn a([&hits] { ++hits; });
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MovePreservesNonTrivialCaptures) {
+  auto data = std::make_shared<std::vector<int>>(std::vector<int>{1, 2, 3});
+  std::weak_ptr<std::vector<int>> watch = data;
+  int sum = 0;
+  InlineFn a([data = std::move(data), &sum] {
+    for (int v : *data) sum += v;
+  });
+  InlineFn b(std::move(a));
+  InlineFn c(std::move(b));
+  c();
+  EXPECT_EQ(sum, 6);
+  EXPECT_FALSE(watch.expired());
+  c.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, DestructorRunsCaptureDestructorsOnce) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn fn([token = std::move(token)] { (void)token; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, HeapFallbackDestroysExactlyOnce) {
+  struct Big {
+    std::shared_ptr<int> token;
+    std::array<std::uint64_t, 16> pad{};
+  };
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn fn([big = Big{std::move(token), {}}] { (void)big; });
+    InlineFn moved(std::move(fn));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, PlainFunctionPointerWorks) {
+  static int calls = 0;
+  struct Local {
+    static void bump() { ++calls; }
+  };
+  InlineFn fn(&Local::bump);
+  fn();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sctm

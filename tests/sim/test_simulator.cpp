@@ -62,6 +62,51 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(sim.now(), 15u);
 }
 
+TEST(Simulator, RunUntilStopsExactlyAtDeadlineMidBucket) {
+  // Deadline falls between occupied cycles of the same wheel window: the
+  // kernel must drain through the deadline, park time exactly on it, and
+  // leave the rest of the window untouched.
+  Simulator sim;
+  std::vector<Cycle> seen;
+  for (const Cycle t : {Cycle{5}, Cycle{39}, Cycle{41}, Cycle{70}}) {
+    sim.schedule_at(t, [&, t] { seen.push_back(t); });
+  }
+  const auto n = sim.run_until(40);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(seen, (std::vector<Cycle>{5, 39}));
+  EXPECT_EQ(sim.now(), 40u);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  // Resuming picks up the remainder in order.
+  sim.run_until(41);
+  EXPECT_EQ(seen, (std::vector<Cycle>{5, 39, 41}));
+  EXPECT_EQ(sim.now(), 41u);
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<Cycle>{5, 39, 41, 70}));
+}
+
+TEST(Simulator, RunUntilDeadlineOnOccupiedCycleRunsThatCycle) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(10, [&] { ++ran; });
+  sim.run_until(10);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, LateBandRunsAfterAllNormalEventsOfTheCycle) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_late(3, [&] { order.push_back(99); });
+  sim.schedule_at(3, [&] {
+    order.push_back(0);
+    // Normal event scheduled during the cycle still precedes the late band.
+    sim.schedule_in(0, [&] { order.push_back(1); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 99}));
+}
+
 TEST(Simulator, StopHaltsDispatch) {
   Simulator sim;
   int ran = 0;
