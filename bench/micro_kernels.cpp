@@ -3,14 +3,26 @@
 // arbitration, and end-to-end replay cost per message. These guard the
 // performance that makes trace replay worthwhile in the first place.
 //
-// In addition to the google-benchmark suite, main() first runs a controlled
-// before/after comparison of the event kernel — the banded calendar queue
-// with InlineFn callables against the seed implementation (std::function
-// closures in a single std::priority_queue) — on a uniform and a same-cycle-
-// heavy (bursty) schedule, and writes the machine-readable result to
-// bench_results/BENCH_micro_kernels.json so future PRs can track the perf
-// trajectory. The binary exits non-zero if the banded kernel fails the
-// >= 1.5x bar on the bursty workload.
+// In addition to the google-benchmark suite, main() first runs two
+// controlled before/after comparisons and writes machine-readable results
+// under bench_results/ so future PRs can track the perf trajectory:
+//
+//  * event kernel (BENCH_micro_kernels.json): the banded calendar queue with
+//    InlineFn callables against the seed implementation (std::function
+//    closures in a single std::priority_queue), on a uniform and a
+//    same-cycle-heavy (bursty) schedule. Bar: >= 1.5x on the bursty one.
+//  * data plane (BENCH_data_plane.json): the quiescence-aware activity
+//    scoreboard (tick only routers holding flits) against the seed policy of
+//    ticking every router every cycle, on a sparse low-load workload and at
+//    saturation. The workloads are deterministic pre-computed injection
+//    schedules — not the open-loop TrafficGenerator, whose per-node-per-
+//    cycle generator events would mask the network-advance cost being
+//    measured. Bars: >= 2.0x sparse, >= 0.95x saturated; both modes must
+//    also produce identical activity hashes (bit-exact datapath).
+//
+// The binary exits non-zero if any bar fails. Pass --smoke to run only the
+// two comparisons (reduced reps, same bars) and skip the google-benchmark
+// suite — the Release CI job uses this as a perf regression gate.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -185,7 +197,7 @@ double best_of_meps(F&& run, std::uint64_t events, int reps) {
   return best;
 }
 
-int run_event_kernel_comparison() {
+int run_event_kernel_comparison(int reps) {
   std::vector<KernelResult> results;
   std::uint64_t sink = 0;
   for (const auto& w : kWorkloads) {
@@ -203,9 +215,8 @@ int run_event_kernel_comparison() {
     KernelResult r;
     r.name = w.name;
     r.events = n_banded;
-    constexpr int kReps = 5;
-    r.banded_meps = best_of_meps([&] { run_banded(w, sink); }, r.events, kReps);
-    r.legacy_meps = best_of_meps([&] { run_legacy(w, sink); }, r.events, kReps);
+    r.banded_meps = best_of_meps([&] { run_banded(w, sink); }, r.events, reps);
+    r.legacy_meps = best_of_meps([&] { run_legacy(w, sink); }, r.events, reps);
     r.speedup = r.banded_meps / r.legacy_meps;
     results.push_back(r);
   }
@@ -250,6 +261,205 @@ int run_event_kernel_comparison() {
               "%.2fx (bar: 1.50x)\n\n",
               ok ? "OK" : "FAIL", bursty);
   return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane (activity scoreboard) before/after harness
+// ---------------------------------------------------------------------------
+
+struct ScheduledMsg {
+  Cycle at;
+  NodeId src;
+  NodeId dst;
+  std::uint32_t bytes;
+};
+
+struct DataPlaneWorkload {
+  const char* name;
+  int width;
+  int height;
+  std::vector<ScheduledMsg> msgs;
+};
+
+/// Sparse: a 256-router mesh where at most a handful of routers ever hold
+/// flits at once — one short message every ~30 cycles over a long horizon.
+/// This is the trace-replay shape the scoreboard targets: the clock runs,
+/// but almost every router is idle on almost every cycle.
+DataPlaneWorkload sparse_workload(int scale) {
+  DataPlaneWorkload w{"sparse_low_load", 16, 16, {}};
+  Rng rng(101);
+  const int n = w.width * w.height;
+  const int count = 1500 * scale;
+  Cycle t = 0;
+  for (int i = 0; i < count; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(n));
+    auto dst = static_cast<NodeId>(rng.next_below(n));
+    if (dst == src) dst = (dst + 1) % n;
+    w.msgs.push_back({t, src, dst, 64});
+    t += 25 + static_cast<Cycle>(rng.next_below(10));
+  }
+  return w;
+}
+
+/// Saturated: every cycle, a quarter of a 64-router mesh injects — the
+/// active set is essentially the whole fabric, so the scoreboard's win is
+/// gone and the bench guards that its bookkeeping costs (nearly) nothing.
+DataPlaneWorkload saturated_workload(int scale) {
+  DataPlaneWorkload w{"saturated", 8, 8, {}};
+  Rng rng(202);
+  const int n = w.width * w.height;
+  const Cycle horizon = static_cast<Cycle>(1500) * scale;
+  for (Cycle t = 0; t < horizon; ++t) {
+    for (int k = 0; k < 16; ++k) {
+      const auto src = static_cast<NodeId>(rng.next_below(n));
+      auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (dst == src) dst = (dst + 1) % n;
+      w.msgs.push_back({t, src, dst, 64});
+    }
+  }
+  return w;
+}
+
+struct DataPlaneRun {
+  std::uint64_t activity_hash = 0;
+  std::uint64_t active_cycles = 0;
+  std::uint64_t router_ticks = 0;
+  std::uint64_t delivered = 0;
+};
+
+DataPlaneRun run_data_plane(const DataPlaneWorkload& w, bool exhaustive) {
+  Simulator sim;
+  const auto topo = noc::Topology::mesh(w.width, w.height);
+  enoc::EnocNetwork net(sim, "enoc", topo, enoc::EnocParams{});
+  net.set_exhaustive_tick_for_test(exhaustive);
+  MsgId next_id = 1;
+  for (const auto& m : w.msgs) {
+    sim.schedule_at(m.at, [&net, &next_id, &m] {
+      noc::Message msg;
+      msg.id = next_id++;
+      msg.src = m.src;
+      msg.dst = m.dst;
+      msg.size_bytes = m.bytes;
+      msg.cls = noc::MsgClass::kData;
+      net.inject(msg);
+    });
+  }
+  sim.run();
+  DataPlaneRun out;
+  out.activity_hash = net.activity_hash();
+  out.active_cycles = net.active_cycles();
+  out.router_ticks = net.router_ticks();
+  out.delivered = net.delivered_count();
+  return out;
+}
+
+struct DataPlaneResult {
+  std::string name;
+  std::uint64_t active_cycles = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t ticks_exhaustive = 0;
+  std::uint64_t ticks_scoreboard = 0;
+  double exhaustive_mcps = 0;  // million simulated network cycles/second
+  double scoreboard_mcps = 0;
+  double speedup = 0;
+};
+
+int run_data_plane_comparison(int reps, int scale) {
+  struct Case {
+    DataPlaneWorkload workload;
+    double bar;
+  };
+  const Case cases[] = {
+      {sparse_workload(scale), 2.0},
+      {saturated_workload(scale), 0.95},
+  };
+
+  std::vector<DataPlaneResult> results;
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    const auto& w = c.workload;
+    // Correctness cross-check doubles as warmup: both scheduling policies
+    // must move every flit identically.
+    const DataPlaneRun sb = run_data_plane(w, /*exhaustive=*/false);
+    const DataPlaneRun ex = run_data_plane(w, /*exhaustive=*/true);
+    if (sb.activity_hash != ex.activity_hash ||
+        sb.active_cycles != ex.active_cycles ||
+        sb.delivered != ex.delivered) {
+      std::fprintf(stderr,
+                   "data-plane bench: %s diverged between scoreboard and "
+                   "exhaustive ticking\n",
+                   w.name);
+      return 1;
+    }
+    DataPlaneResult r;
+    r.name = w.name;
+    r.active_cycles = sb.active_cycles;
+    r.delivered = sb.delivered;
+    r.ticks_exhaustive = ex.router_ticks;
+    r.ticks_scoreboard = sb.router_ticks;
+    r.scoreboard_mcps = best_of_meps(
+        [&] { run_data_plane(w, false); }, r.active_cycles, reps);
+    r.exhaustive_mcps = best_of_meps(
+        [&] { run_data_plane(w, true); }, r.active_cycles, reps);
+    r.speedup = r.scoreboard_mcps / r.exhaustive_mcps;
+    if (r.speedup < c.bar) all_ok = false;
+    results.push_back(r);
+  }
+
+  std::printf("\ndata plane: activity scoreboard vs tick-all-routers\n");
+  std::printf("%-18s %10s %9s %13s %13s %12s %12s %9s\n", "workload",
+              "cycles", "msgs", "ticks(all)", "ticks(sb)", "all Mcyc/s",
+              "sb Mcyc/s", "speedup");
+  for (const auto& r : results) {
+    std::printf("%-18s %10llu %9llu %13llu %13llu %12.2f %12.2f %8.2fx\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.active_cycles),
+                static_cast<unsigned long long>(r.delivered),
+                static_cast<unsigned long long>(r.ticks_exhaustive),
+                static_cast<unsigned long long>(r.ticks_scoreboard),
+                r.exhaustive_mcps, r.scoreboard_mcps, r.speedup);
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (FILE* f = std::fopen("bench_results/BENCH_data_plane.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"data_plane\",\n");
+    std::fprintf(f,
+                 "  \"kernel\": \"quiescence-aware activity scoreboard vs "
+                 "exhaustive per-cycle router ticking\",\n");
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"active_cycles\": %llu, "
+          "\"messages\": %llu, \"router_ticks_exhaustive\": %llu, "
+          "\"router_ticks_scoreboard\": %llu, \"exhaustive_mcps\": %.3f, "
+          "\"scoreboard_mcps\": %.3f, \"speedup\": %.3f}%s\n",
+          r.name.c_str(), static_cast<unsigned long long>(r.active_cycles),
+          static_cast<unsigned long long>(r.delivered),
+          static_cast<unsigned long long>(r.ticks_exhaustive),
+          static_cast<unsigned long long>(r.ticks_scoreboard),
+          r.exhaustive_mcps, r.scoreboard_mcps, r.speedup,
+          i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"bars\": [{\"workload\": \"sparse_low_load\", "
+                 "\"required_speedup\": 2.0}, {\"workload\": \"saturated\", "
+                 "\"required_speedup\": 0.95}]\n}\n");
+    std::fclose(f);
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double bar = cases[i].bar;
+    const bool ok = results[i].speedup >= bar;
+    std::printf("[%s] data-plane speedup on %s: %.2fx (bar: %.2fx)\n",
+                ok ? "OK" : "FAIL", results[i].name.c_str(),
+                results[i].speedup, bar);
+  }
+  std::printf("\n");
+  return all_ok ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -387,10 +597,23 @@ BENCHMARK(BM_NaiveReplayPerMessage)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int kernel_rc = run_event_kernel_comparison();
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  const int reps = smoke ? 3 : 5;
+  const int scale = smoke ? 1 : 2;
+  const int kernel_rc = run_event_kernel_comparison(reps);
+  const int data_plane_rc = run_data_plane_comparison(reps, scale);
+  if (smoke) return kernel_rc != 0 || data_plane_rc != 0 ? 1 : 0;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return kernel_rc;
+  return kernel_rc != 0 || data_plane_rc != 0 ? 1 : 0;
 }

@@ -1,6 +1,7 @@
 #include "common/histogram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 namespace sctm {
@@ -17,7 +18,10 @@ void Histogram::add(std::uint64_t value) {
   ++count_;
   sum_lo_ += value;
   if (value < dense_limit_) {
-    if (dense_.size() <= value) dense_.resize(value + 1, 0);
+    // Geometric growth: a slowly rising max (packet latencies creeping up
+    // under load) costs O(log max) reallocations over a run, not one per new
+    // maximum — the delivery path must stay allocation-free in steady state.
+    if (dense_.size() <= value) dense_.resize(std::bit_ceil(value + 1), 0);
     ++dense_[value];
   } else {
     ++overflow_[value];

@@ -13,14 +13,16 @@ unsigned default_parallelism() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  unsigned threads) {
+namespace detail {
+
+void parallel_for_impl(std::size_t n, void (*thunk)(void*, std::size_t),
+                       void* ctx, unsigned threads) {
   if (n == 0) return;
   if (threads == 0) threads = default_parallelism();
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, n));
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) thunk(ctx, i);
     return;
   }
 
@@ -33,7 +35,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        fn(i);
+        thunk(ctx, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -47,5 +49,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
+
+}  // namespace detail
 
 }  // namespace sctm

@@ -7,10 +7,15 @@
 // task is rethrown on the caller after all workers join, and determinism is
 // preserved as long as tasks only touch disjoint state (each task owns its
 // own Simulator).
+//
+// The callable is passed by reference through a type-erased (context, thunk)
+// pair — no std::function, so dispatching a capture-heavy lambda never heap
+// allocates. The callable must outlive the call (it always does: parallel_for
+// joins before returning).
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <memory>
 
 namespace sctm {
 
@@ -18,7 +23,18 @@ namespace sctm {
 /// concurrency, at least 1).
 unsigned default_parallelism();
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  unsigned threads = 0);
+namespace detail {
+void parallel_for_impl(std::size_t n, void (*thunk)(void*, std::size_t),
+                       void* ctx, unsigned threads);
+}  // namespace detail
+
+template <typename Fn>
+void parallel_for(std::size_t n, const Fn& fn, unsigned threads = 0) {
+  detail::parallel_for_impl(
+      n,
+      [](void* ctx, std::size_t i) { (*static_cast<const Fn*>(ctx))(i); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+      threads);
+}
 
 }  // namespace sctm

@@ -23,24 +23,48 @@ Histogram ReplayResult::latency_histogram() const {
   return h;
 }
 
-namespace {
+KeptDepsCsr build_kept_deps(const trace::Trace& trace,
+                            const ReplayConfig& config) {
+  const auto n = static_cast<std::uint32_t>(trace.records.size());
+  const bool naive = (config.mode == ReplayMode::kNaive);
+  const std::uint32_t window = config.dependency_window;
 
-/// Per-record dependencies enforced online: the `window` smallest-slack
-/// dependencies (ties broken by parent id for determinism).
-std::vector<trace::TraceDep> kept_deps(const trace::TraceRecord& r,
-                                       std::uint32_t window) {
-  if (r.deps.size() <= window) return r.deps;
-  std::vector<trace::TraceDep> out = r.deps;
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.slack != b.slack) return a.slack < b.slack;
-    return a.parent < b.parent;
-  });
-  out.resize(window);
-  return out;
+  KeptDepsCsr csr;
+  csr.offset.assign(n + 1, 0);
+  if (naive) return csr;
+
+  std::size_t total = 0;
+  for (const auto& r : trace.records) {
+    total += std::min<std::size_t>(r.deps.size(), window);
+  }
+  csr.deps.reserve(total);
+
+  // Scratch reused across records: sort a record's full dependency list by
+  // (slack, parent) only when it overflows the window.
+  std::vector<trace::TraceDep> scratch;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& r = trace.records[i];
+    if (r.deps.size() <= window) {
+      csr.deps.insert(csr.deps.end(), r.deps.begin(), r.deps.end());
+    } else {
+      // The `window` smallest-slack dependencies (ties broken by parent id
+      // for determinism).
+      scratch = r.deps;
+      std::sort(scratch.begin(), scratch.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.slack != b.slack) return a.slack < b.slack;
+                  return a.parent < b.parent;
+                });
+      csr.deps.insert(csr.deps.end(), scratch.begin(), scratch.begin() + window);
+    }
+    csr.offset[i + 1] = static_cast<std::uint32_t>(csr.deps.size());
+  }
+  return csr;
 }
 
+namespace {
+
 struct PassState {
-  std::vector<std::vector<trace::TraceDep>> kept;
   std::vector<std::uint32_t> pending;
   std::vector<Cycle> ready;  // max(arrival' + slack) over resolved kept deps
 };
@@ -51,9 +75,16 @@ ReplayResult replay_once(const trace::Trace& trace,
                          const trace::DependencyGraph& graph,
                          const NetworkFactory& factory,
                          const ReplayConfig& config,
-                         const std::vector<Cycle>* baseline) {
+                         const std::vector<Cycle>* baseline,
+                         const KeptDepsCsr* kept) {
   const auto n = static_cast<std::uint32_t>(trace.records.size());
   const bool naive = (config.mode == ReplayMode::kNaive);
+
+  KeptDepsCsr local_csr;
+  if (kept == nullptr) {
+    local_csr = build_kept_deps(trace, config);
+    kept = &local_csr;
+  }
 
   Simulator sim;
   auto net = factory(sim);
@@ -67,7 +98,6 @@ ReplayResult replay_once(const trace::Trace& trace,
   out.arrive_time.assign(n, kNoCycle);
 
   PassState st;
-  st.kept.resize(n);
   st.pending.assign(n, 0);
   st.ready.assign(n, 0);
 
@@ -77,14 +107,12 @@ ReplayResult replay_once(const trace::Trace& trace,
   std::vector<Cycle> bound(n, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto& r = trace.records[i];
-    st.kept[i] = naive ? std::vector<trace::TraceDep>{}
-                       : kept_deps(r, config.dependency_window);
-    st.pending[i] = static_cast<std::uint32_t>(st.kept[i].size());
+    st.pending[i] = kept->count(i);
     if (baseline) {
       bound[i] = (*baseline)[i];
     } else {
       // First pass: anchor dependency-less schedules at the captured times.
-      bound[i] = st.kept[i].empty() ? r.inject_time : 0;
+      bound[i] = st.pending[i] == 0 ? r.inject_time : 0;
     }
   }
 
@@ -131,7 +159,8 @@ ReplayResult replay_once(const trace::Trace& trace,
     for (const std::uint32_t c : graph.children_of(idx)) {
       // Is this parent one of c's enforced deps? (kept sets are tiny)
       const MsgId pid = trace.records[idx].id;
-      for (const auto& d : st.kept[c]) {
+      for (auto it = kept->begin(c); it != kept->end(c); ++it) {
+        const auto& d = *it;
         if (d.parent != pid) continue;
         st.ready[c] = std::max(st.ready[c], msg.arrive_time + d.slack);
         if (--st.pending[c] == 0) {
@@ -178,7 +207,12 @@ ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
   const bool single_pass = (config.mode == ReplayMode::kNaive) ||
                            (config.dependency_window >= max_deps);
 
-  ReplayResult result = replay_once(trace, graph, factory, config, nullptr);
+  // The enforced-dependency CSR depends only on (trace, config): build it
+  // once and share it across every iterative pass.
+  const KeptDepsCsr csr = build_kept_deps(trace, config);
+
+  ReplayResult result = replay_once(trace, graph, factory, config, nullptr,
+                                    &csr);
   if (single_pass) return result;
 
   // Iterative self-correction for truncated windows: re-derive each
@@ -202,7 +236,8 @@ ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
       }
       bound[i] = b;
     }
-    ReplayResult next = replay_once(trace, graph, factory, config, &bound);
+    ReplayResult next = replay_once(trace, graph, factory, config, &bound,
+                                    &csr);
     total_events += next.events;
 
     double shift = 0;

@@ -73,14 +73,40 @@ struct ReplayResult {
 using NetworkFactory =
     std::function<std::unique_ptr<noc::Network>(Simulator&)>;
 
+/// Per-record enforced-dependency sets in CSR form: record i's kept
+/// dependencies are deps[offset[i] .. offset[i+1]). Built once per trace
+/// (two flat arrays) instead of one std::vector copy per record per pass —
+/// the iterative engine replays the same trace many times.
+struct KeptDepsCsr {
+  std::vector<std::uint32_t> offset;  // size records+1
+  std::vector<trace::TraceDep> deps;  // flat, grouped by record
+
+  std::uint32_t count(std::uint32_t rec) const {
+    return offset[rec + 1] - offset[rec];
+  }
+  const trace::TraceDep* begin(std::uint32_t rec) const {
+    return deps.data() + offset[rec];
+  }
+  const trace::TraceDep* end(std::uint32_t rec) const {
+    return deps.data() + offset[rec + 1];
+  }
+};
+
+/// Builds the enforced-dependency CSR for `trace` under `config` (empty sets
+/// in naive mode; the `window` smallest-slack deps per record otherwise).
+KeptDepsCsr build_kept_deps(const trace::Trace& trace,
+                            const ReplayConfig& config);
+
 /// Single-pass replay (naive, or self-correcting with an optional window;
 /// `baseline` overrides the per-record lower bounds — pass captured inject
-/// times for the first iteration).
+/// times for the first iteration). `kept` may carry the precomputed
+/// dependency CSR; when null it is built internally for this pass.
 ReplayResult replay_once(const trace::Trace& trace,
                          const trace::DependencyGraph& graph,
                          const NetworkFactory& factory,
                          const ReplayConfig& config,
-                         const std::vector<Cycle>* baseline = nullptr);
+                         const std::vector<Cycle>* baseline = nullptr,
+                         const KeptDepsCsr* kept = nullptr);
 
 /// Full engine: naive mode and full-window self-correcting mode run one
 /// pass; truncated windows iterate to a fixed point per the config.

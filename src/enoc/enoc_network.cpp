@@ -1,5 +1,6 @@
 #include "enoc/enoc_network.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace sctm::enoc {
@@ -20,27 +21,22 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
         sim, this->name() + ".r" + std::to_string(n), n, topo_, params_,
         static_cast<RouterCallbacks&>(*this)));
   }
+  active_bits_.assign((static_cast<std::size_t>(topo_.node_count()) + 63) / 64,
+                      0);
+  pending_.reserve(64);
+}
+
+void EnocNetwork::mark_active(NodeId n) {
+  active_bits_[static_cast<std::size_t>(n) >> 6] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(n) & 63);
 }
 
 void EnocNetwork::inject(noc::Message msg) {
   note_injected(msg);
   const std::uint32_t nflits = params_.flits_for(msg.size_bytes);
-  std::vector<Flit> flits;
-  flits.reserve(nflits);
-  for (std::uint32_t i = 0; i < nflits; ++i) {
-    Flit f;
-    f.msg = msg.id;
-    f.src = msg.src;
-    f.dst = msg.dst;
-    f.cls = msg.cls;
-    f.seq = i;
-    f.is_head = (i == 0);
-    f.is_tail = (i == nflits - 1);
-    f.injected_at = msg.inject_time;
-    flits.push_back(f);
-  }
-  pending_.emplace(msg.id, PendingMsg{msg, nflits});
-  routers_[static_cast<std::size_t>(msg.src)]->inject(std::move(flits));
+  pending_.insert(msg.id, PendingMsg{msg, nflits});
+  routers_[static_cast<std::size_t>(msg.src)]->inject(msg, nflits);
+  mark_active(msg.src);
   ++in_flight_;
   ensure_ticking();
 }
@@ -71,6 +67,7 @@ void EnocNetwork::forward_flit(NodeId node, int out_dir, const Flit& flit) {
   Flit f = flit;
   auto ev = [this, next, arrival_port, f] {
     routers_[static_cast<std::size_t>(next)]->receive_flit(arrival_port, f);
+    mark_active(next);
   };
   static_assert(InlineFn::fits_inline<decltype(ev)>(),
                 "link-traversal closure must stay within the event SBO budget");
@@ -84,16 +81,16 @@ void EnocNetwork::eject_flit(NodeId node, const Flit& flit) {
                            (static_cast<std::uint64_t>(flit.seq) << 4) ^
                            static_cast<std::uint64_t>(node * 8 + 7));
   if (probe_) probe_(sim().now(), -1, flit.msg, node);
-  const auto it = pending_.find(flit.msg);
-  if (it == pending_.end()) {
+  PendingMsg* pm = pending_.find(flit.msg);
+  if (pm == nullptr) {
     throw std::logic_error(name() + ": ejected flit of unknown message");
   }
-  if (it->second.msg.dst != node) {
+  if (pm->msg.dst != node) {
     throw std::logic_error(name() + ": flit ejected at wrong node");
   }
-  if (--it->second.flits_remaining == 0) {
-    noc::Message msg = it->second.msg;
-    pending_.erase(it);
+  if (--pm->flits_remaining == 0) {
+    noc::Message msg = pm->msg;
+    pending_.erase(flit.msg);
     --in_flight_;
     deliver(msg);
   }
@@ -111,6 +108,9 @@ void EnocNetwork::return_credit(NodeId node, int in_dir, int vc) {
       topo_.kind() == noc::Topology::Kind::kRing
           ? (in_dir == noc::kRingCw ? noc::kRingCcw : noc::kRingCw)
           : noc::Topology::opposite(in_dir);
+  // A credit can unblock a router, but never *activate* one: a
+  // credit-starved router still holds the blocked flits, so has_work() keeps
+  // it in the active set until they drain.
   sim().schedule_in(params_.credit_latency, [this, up, up_out, vc] {
     routers_[static_cast<std::size_t>(up)]->receive_credit(up_out, vc);
   });
@@ -124,7 +124,39 @@ void EnocNetwork::ensure_ticking() {
 
 void EnocNetwork::tick() {
   ++active_cycles_;
-  for (auto& r : routers_) r->tick();
+  if (exhaustive_tick_) {
+    // Seed policy (kept as a test oracle): tick every router every cycle.
+    for (std::size_t w = 0; w < active_bits_.size(); ++w) active_bits_[w] = 0;
+    for (auto& r : routers_) {
+      if (r->tick()) mark_active(r->id());
+      ++router_ticks_;
+    }
+  } else {
+    // Drain the active set in ascending router-id order (bit order), the
+    // same order the exhaustive loop visits routers, so arbitration history
+    // stays bit-identical. A tick may *synchronously* activate a router:
+    // ejection delivers to the endpoint, which can reply immediately with a
+    // fresh inject (always at the delivering node). Bits are therefore
+    // cleared one at a time on the live word — never by overwriting a
+    // snapshot — so a mark_active() fired mid-scan is never lost. Clearing
+    // only when tick() reports no work is safe because any synchronous
+    // activation of the ticked router leaves it with flits, which tick()'s
+    // has_work() return already reflects; and a tick skipped or added for a
+    // router whose flits were injected *this* cycle is a no-op either way
+    // (the injection phase only pulls flits injected on earlier cycles).
+    for (std::size_t w = 0; w < active_bits_.size(); ++w) {
+      std::uint64_t bits = active_bits_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const auto idx = (w << 6) | static_cast<std::size_t>(b);
+        if (!routers_[idx]->tick()) {
+          active_bits_[w] &= ~(std::uint64_t{1} << b);
+        }
+        ++router_ticks_;
+      }
+    }
+  }
   if (in_flight_ > 0) {
     sim().schedule_in(1, [this] { tick(); });
   } else {

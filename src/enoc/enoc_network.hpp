@@ -4,13 +4,25 @@
 // cycle-accurate VC wormhole mesh/torus/ring. The network self-clocks: it
 // ticks only while any message is in flight, so an idle network costs no
 // events (crucial for trace replay speed).
+//
+// Quiescence-aware scheduling: within a running clock, only *active* routers
+// are ticked. A router is active while it holds flits (injection backlog or
+// occupied input VCs); it is marked active when a message is injected at it
+// or a flit arrives over a link, and drops out of the active set the moment
+// its tick reports no remaining work. The active set is a bitmap drained in
+// ascending router-id order every cycle — exactly the order the seed's
+// tick-everything loop used — so datapath timing, arbitration history and
+// the activity hash are bit-identical to ticking all routers, at O(active)
+// instead of O(N) cost per cycle. Idle-router ticks are provably no-ops
+// (every pipeline phase early-outs on empty buffers), which the exhaustive
+// tick mode (set_exhaustive_tick_for_test) lets tests verify directly.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "enoc/params.hpp"
 #include "enoc/router.hpp"
 #include "noc/network.hpp"
@@ -33,6 +45,16 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
   /// Cycles during which the network clock was running (power accounting).
   std::uint64_t active_cycles() const { return active_cycles_; }
 
+  /// Individual router ticks executed (quiescence metric: with the activity
+  /// scoreboard this scales with flit occupancy, not node_count() *
+  /// active_cycles()).
+  std::uint64_t router_ticks() const { return router_ticks_; }
+
+  /// Test hook: tick every router each cycle (the seed scheduling policy)
+  /// instead of draining the active set. Behaviour must be bit-identical;
+  /// the quiescence regression test asserts it.
+  void set_exhaustive_tick_for_test(bool on) { exhaustive_tick_ = on; }
+
   /// Order-sensitive hash over every flit hop and ejection (msg, seq, node,
   /// port, cycle). Two runs with identical datapath behaviour produce
   /// identical hashes — the determinism and replay-fixed-point tests compare
@@ -53,6 +75,7 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
 
   void tick();
   void ensure_ticking();
+  void mark_active(NodeId n);
 
   struct PendingMsg {
     noc::Message msg;
@@ -62,10 +85,17 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
   noc::Topology topo_;
   EnocParams params_;
   std::vector<std::unique_ptr<Router>> routers_;
-  std::unordered_map<MsgId, PendingMsg> pending_;
+  /// In-flight message table. Open-addressing with retained capacity: the
+  /// per-message insert/erase pair stops hitting the heap once the table has
+  /// grown to the run's peak concurrency.
+  FlatMap<MsgId, PendingMsg> pending_;
+  /// Activity scoreboard: bit n set == router n has (or may have) work.
+  std::vector<std::uint64_t> active_bits_;
   std::uint64_t in_flight_ = 0;
   bool ticking_ = false;
+  bool exhaustive_tick_ = false;
   std::uint64_t active_cycles_ = 0;
+  std::uint64_t router_ticks_ = 0;
   std::uint64_t activity_hash_ = 0;
   ActivityProbe probe_;
 };

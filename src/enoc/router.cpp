@@ -1,5 +1,6 @@
 #include "enoc/router.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -39,6 +40,9 @@ Router::Router(Simulator& sim, std::string name, NodeId id,
   params_.validate(needs_dateline_);
   inputs_.resize(static_cast<std::size_t>(ports_) * vcount_);
   outputs_.resize(static_cast<std::size_t>(ports_) * vcount_);
+  for (auto& ivc : inputs_) {
+    ivc.fifo.reserve(static_cast<std::size_t>(params_.buffer_depth));
+  }
   for (int p = 0; p < ports_; ++p) {
     const bool ejection = (p == topo_.local_port());
     for (int v = 0; v < vcount_; ++v) {
@@ -48,6 +52,11 @@ Router::Router(Simulator& sim, std::string name, NodeId id,
     sa_output_arb_.push_back(make_arbiter(params_.arbiter, ports_));
     va_arb_.push_back(make_arbiter(params_.arbiter, ports_ * vcount_));
   }
+  req_vc_.resize(static_cast<std::size_t>(vcount_));
+  req_port_.resize(static_cast<std::size_t>(ports_));
+  req_pv_.resize(static_cast<std::size_t>(ports_) * vcount_);
+  sa_nominee_.resize(static_cast<std::size_t>(ports_));
+  sa_winner_.resize(static_cast<std::size_t>(ports_));
 }
 
 int Router::vnet_of(noc::MsgClass cls) const {
@@ -113,8 +122,19 @@ void Router::receive_credit(int out_port, int vc) {
   }
 }
 
-void Router::inject(std::vector<Flit> flits) {
-  for (auto& f : flits) inj_queue_.push_back(f);
+void Router::inject(const noc::Message& msg, std::uint32_t nflits) {
+  Flit f;
+  f.msg = msg.id;
+  f.src = msg.src;
+  f.dst = msg.dst;
+  f.cls = msg.cls;
+  f.injected_at = msg.inject_time;
+  for (std::uint32_t i = 0; i < nflits; ++i) {
+    f.seq = i;
+    f.is_head = (i == 0);
+    f.is_tail = (i == nflits - 1);
+    inj_queue_.push_back(f);
+  }
 }
 
 bool Router::has_work() const {
@@ -142,42 +162,45 @@ bool Router::tick() {
 
 void Router::phase_switch_allocation() {
   // Stage 1: each input port nominates one ready VC.
-  std::vector<int> nominee(ports_, -1);  // VC index per input port
+  auto& nominee = sa_nominee_;  // VC index per input port
+  std::fill(nominee.begin(), nominee.end(), -1);
   for (int p = 0; p < ports_; ++p) {
-    std::vector<bool> req(vcount_, false);
+    std::fill(req_vc_.begin(), req_vc_.end(), false);
     bool any = false;
     for (int v = 0; v < vcount_; ++v) {
       const auto& ivc = in_vc(p, v);
       if (ivc.fifo.empty() || ivc.out_port < 0 || ivc.out_vc < 0) continue;
       const auto& ovc = outputs_[vc_index(ivc.out_port, ivc.out_vc)];
       if (ovc.credits <= 0) continue;
-      req[v] = true;
+      req_vc_[static_cast<std::size_t>(v)] = true;
       any = true;
     }
-    if (any) nominee[p] = sa_input_arb_[p]->grant(req);
+    if (any) nominee[static_cast<std::size_t>(p)] = sa_input_arb_[p]->grant(req_vc_);
   }
 
   // Stage 2: each output port grants one nominated input port.
-  std::vector<int> winner_in(ports_, -1);  // input port per output port
+  auto& winner_in = sa_winner_;  // input port per output port
+  std::fill(winner_in.begin(), winner_in.end(), -1);
   for (int q = 0; q < ports_; ++q) {
-    std::vector<bool> req(ports_, false);
+    std::fill(req_port_.begin(), req_port_.end(), false);
     bool any = false;
     for (int p = 0; p < ports_; ++p) {
-      if (nominee[p] < 0) continue;
-      if (in_vc(p, nominee[p]).out_port == q) {
-        req[p] = true;
+      if (nominee[static_cast<std::size_t>(p)] < 0) continue;
+      if (in_vc(p, nominee[static_cast<std::size_t>(p)]).out_port == q) {
+        req_port_[static_cast<std::size_t>(p)] = true;
         any = true;
       }
     }
     if (any) {
-      const int w = sa_output_arb_[q]->grant(req);
-      if (w >= 0) winner_in[q] = w;
+      const int w = sa_output_arb_[q]->grant(req_port_);
+      if (w >= 0) winner_in[static_cast<std::size_t>(q)] = w;
     }
   }
 
   for (int q = 0; q < ports_; ++q) {
-    if (winner_in[q] >= 0) {
-      send_flit(winner_in[q], nominee[winner_in[q]]);
+    const int w = winner_in[static_cast<std::size_t>(q)];
+    if (w >= 0) {
+      send_flit(w, nominee[static_cast<std::size_t>(w)]);
       ++stat_sa_grants_;
     }
   }
@@ -220,7 +243,8 @@ void Router::send_flit(int in_port, int in_vc_idx) {
 void Router::phase_vc_allocation() {
   // One grant per output port per cycle, arbitrated over input VCs.
   for (int q = 0; q < ports_; ++q) {
-    std::vector<bool> req(static_cast<std::size_t>(ports_) * vcount_, false);
+    auto& req = req_pv_;
+    std::fill(req.begin(), req.end(), false);
     bool any = false;
     for (int p = 0; p < ports_; ++p) {
       for (int v = 0; v < vcount_; ++v) {
@@ -276,7 +300,7 @@ void Router::phase_route_compute() {
         ivc.next_dateline = 0;
         continue;
       }
-      const auto candidates = noc::route_candidates(
+      const auto candidates = noc::route_ports(
           topo_, params_.routing, head.src, id_, head.dst);
       int chosen = candidates.front();
       if (params_.adaptive && candidates.size() > 1) {

@@ -10,6 +10,14 @@
 // downstream input VC. Separable switch allocation (input-first then
 // output arbitration) with per-port round-robin or matrix arbiters.
 //
+// The datapath is allocation-free in steady state: input VCs are
+// fixed-capacity rings sized to buffer_depth, injection staging is a
+// capacity-retaining ring, allocator request/grant scratch lives in member
+// vectors sized at construction, and route computation uses the fixed
+// RoutePorts set. Ticking an idle router (has_work() == false) is a no-op —
+// the owning network exploits this with an activity scoreboard and only
+// ticks routers that hold flits.
+//
 // Deadlock discipline:
 //  * protocol: message classes are split across virtual networks,
 //  * routing: XY/YX/odd-even are turn-restricted on meshes; torus DOR and
@@ -17,13 +25,14 @@
 //    when it traverses a wrap link and resets on a dimension change.
 #pragma once
 
-#include <deque>
+#include <cassert>
 #include <memory>
 #include <vector>
 
 #include "enoc/arbiter.hpp"
 #include "enoc/flit.hpp"
 #include "enoc/params.hpp"
+#include "noc/message.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
 #include "sim/component.hpp"
@@ -44,6 +53,50 @@ class RouterCallbacks {
   virtual void return_credit(NodeId node, int in_dir, int vc) = 0;
 };
 
+/// Growable FIFO ring of flits. Capacity is retained across drain/fill
+/// cycles, so a warmed-up queue never touches the heap again — unlike
+/// std::deque, which releases its blocks whenever it empties.
+class FlitRing {
+ public:
+  void reserve(std::size_t cap) {
+    if (cap > buf_.size()) regrow(cap);
+  }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  Flit& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  const Flit& front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  void push_back(const Flit& f) {
+    if (count_ == buf_.size()) regrow(buf_.empty() ? 8 : buf_.size() * 2);
+    buf_[(head_ + count_) % buf_.size()] = f;
+    ++count_;
+  }
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+  }
+
+ private:
+  void regrow(std::size_t cap) {
+    std::vector<Flit> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<Flit> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 class Router : public Component {
  public:
   Router(Simulator& sim, std::string name, NodeId id,
@@ -51,7 +104,8 @@ class Router : public Component {
          RouterCallbacks& callbacks);
 
   /// One clock cycle of the pipeline. Returns true when the router still
-  /// holds any flit afterwards (activity hint).
+  /// holds any flit afterwards (activity hint; false means every further
+  /// tick is a no-op until new work arrives).
   bool tick();
 
   /// Flit arrives on input port `in_port` in VC flit.vc (link delivery or,
@@ -61,9 +115,10 @@ class Router : public Component {
   /// Credit arrives for output (out_port, vc).
   void receive_credit(int out_port, int vc);
 
-  /// Queues a packet's flits for injection (unbounded source queue; the
-  /// router moves them into local-port VCs as space frees).
-  void inject(std::vector<Flit> flits);
+  /// Stages a packet's flits for injection (unbounded source queue; the
+  /// router moves them into local-port VCs as space frees). Flits are
+  /// synthesized straight into the staging ring — no intermediate container.
+  void inject(const noc::Message& msg, std::uint32_t nflits);
 
   NodeId id() const { return id_; }
   bool has_work() const;
@@ -74,7 +129,7 @@ class Router : public Component {
 
  private:
   struct InputVc {
-    std::deque<Flit> fifo;
+    FlitRing fifo;           // fixed capacity == params.buffer_depth
     int out_port = -1;       // RC result; -1 = unrouted
     int out_vc = -1;         // VA result; -1 = unallocated
     std::uint8_t next_dateline = 0;  // subclass the packet occupies downstream
@@ -125,9 +180,16 @@ class Router : public Component {
   // VC-allocation arbiters: one per output port.
   std::vector<std::unique_ptr<Arbiter>> va_arb_;
 
+  // Allocator scratch, reused every tick (capacity fixed at construction).
+  std::vector<bool> req_vc_;       // [vcount]
+  std::vector<bool> req_port_;     // [ports]
+  std::vector<bool> req_pv_;       // [ports * vcount]
+  std::vector<int> sa_nominee_;    // per input port: nominated VC
+  std::vector<int> sa_winner_;     // per output port: granted input port
+
   // Injection source queue + which local VC each in-progress packet streams
   // into (msg -> vc), to keep wormhole continuity at the local port.
-  std::deque<Flit> inj_queue_;
+  FlitRing inj_queue_;
   int inj_active_vc_ = -1;     // local VC of the packet currently streaming
   MsgId inj_active_msg_ = kInvalidMsg;
 

@@ -86,11 +86,11 @@ MsgId CmpSystem::send(ProtoMsg type, NodeId src, NodeId dst,
     ev.proto = type;
     ev.deps.reserve(causes.size());
     for (const MsgId c : causes) {
-      const auto it = arrival_time_.find(c);
-      if (it == arrival_time_.end()) {
+      const Cycle* arrived = arrival_time_.find(c);
+      if (arrived == nullptr) {
         throw std::logic_error(name() + ": cause message never arrived");
       }
-      ev.deps.push_back({c, now() - it->second});
+      ev.deps.push_back({c, now() - *arrived});
     }
     observer_(ev);
   }
@@ -99,7 +99,7 @@ MsgId CmpSystem::send(ProtoMsg type, NodeId src, NodeId dst,
 }
 
 void CmpSystem::on_deliver(const noc::Message& msg) {
-  arrival_time_[msg.id] = now();
+  arrival_time_.insert_or_assign(msg.id, now());
   if (deliver_observer_) deliver_observer_(msg);
   const ProtoMsg type = tag_type(msg.tag);
   const std::uint64_t line = tag_line(msg.tag);

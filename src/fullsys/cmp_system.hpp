@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "fullsys/app.hpp"
 #include "fullsys/barrier.hpp"
 #include "fullsys/core_model.hpp"
@@ -100,7 +101,10 @@ class CmpSystem final : public Component, public Fabric {
 
   std::function<void(const InjectionEvent&)> observer_;
   std::function<void(const noc::Message&)> deliver_observer_;
-  std::unordered_map<MsgId, Cycle> arrival_time_;
+  /// Arrival stamp per delivered message (slack derivation). Open-addressing
+  /// with retained capacity: no per-message node allocation on the hot
+  /// delivery path.
+  FlatMap<MsgId, Cycle> arrival_time_;
   MsgId next_msg_id_ = 1;
 
   std::uint64_t& stat_msgs_;

@@ -5,11 +5,11 @@
 namespace sctm::noc {
 namespace {
 
-std::vector<int> xy_route(const Topology& topo, NodeId cur, NodeId dst,
-                          bool x_first) {
+RoutePorts xy_route(const Topology& topo, NodeId cur, NodeId dst,
+                    bool x_first) {
   const Coord c = topo.coords(cur);
   const Coord d = topo.coords(dst);
-  std::vector<int> out;
+  RoutePorts out;
   auto push_x = [&] {
     if (d.x > c.x) out.push_back(kEast);
     else if (d.x < c.x) out.push_back(kWest);
@@ -32,12 +32,12 @@ std::vector<int> xy_route(const Topology& topo, NodeId cur, NodeId dst,
 // Even columns forbid EN/ES turns; odd columns forbid NW/SW turns. The
 // vertical direction sign does not affect the rules, so our y-down
 // convention is immaterial.
-std::vector<int> odd_even_route(const Topology& topo, NodeId src, NodeId cur,
-                                NodeId dst) {
+RoutePorts odd_even_route(const Topology& topo, NodeId src, NodeId cur,
+                          NodeId dst) {
   const Coord c = topo.coords(cur);
   const Coord d = topo.coords(dst);
   const Coord s = topo.coords(src);
-  std::vector<int> out;
+  RoutePorts out;
   const int e0 = d.x - c.x;
   const int e1 = d.y - c.y;
   const int vertical = e1 > 0 ? kSouth : kNorth;
@@ -60,17 +60,19 @@ std::vector<int> odd_even_route(const Topology& topo, NodeId src, NodeId cur,
   return out;
 }
 
-std::vector<int> ring_route(const Topology& topo, NodeId cur, NodeId dst) {
+RoutePorts ring_route(const Topology& topo, NodeId cur, NodeId dst) {
   const int count = topo.node_count();
   const int fwd = (static_cast<int>(dst) - cur + count) % count;
   const int bwd = count - fwd;
-  return {fwd <= bwd ? kRingCw : kRingCcw};
+  RoutePorts out;
+  out.push_back(fwd <= bwd ? kRingCw : kRingCcw);
+  return out;
 }
 
-std::vector<int> torus_dor_route(const Topology& topo, NodeId cur, NodeId dst) {
+RoutePorts torus_dor_route(const Topology& topo, NodeId cur, NodeId dst) {
   const Coord c = topo.coords(cur);
   const Coord d = topo.coords(dst);
-  std::vector<int> out;
+  RoutePorts out;
   if (c.x != d.x) {
     const int w = topo.width();
     const int east_hops = ((d.x - c.x) % w + w) % w;
@@ -87,13 +89,13 @@ std::vector<int> torus_dor_route(const Topology& topo, NodeId cur, NodeId dst) {
 
 }  // namespace
 
-std::vector<int> route_candidates(const Topology& topo, RoutingAlgo algo,
-                                  NodeId src, NodeId cur, NodeId dst) {
+RoutePorts route_ports(const Topology& topo, RoutingAlgo algo, NodeId src,
+                       NodeId cur, NodeId dst) {
   if (!topo.valid_node(cur) || !topo.valid_node(dst) || !topo.valid_node(src)) {
     throw std::logic_error("route_candidates: invalid node");
   }
   if (cur == dst) return {};
-  std::vector<int> out;
+  RoutePorts out;
   switch (algo) {
     case RoutingAlgo::kXY: out = xy_route(topo, cur, dst, /*x_first=*/true); break;
     case RoutingAlgo::kYX: out = xy_route(topo, cur, dst, /*x_first=*/false); break;
@@ -107,9 +109,15 @@ std::vector<int> route_candidates(const Topology& topo, RoutingAlgo algo,
   return out;
 }
 
+std::vector<int> route_candidates(const Topology& topo, RoutingAlgo algo,
+                                  NodeId src, NodeId cur, NodeId dst) {
+  const RoutePorts p = route_ports(topo, algo, src, cur, dst);
+  return std::vector<int>(p.begin(), p.end());
+}
+
 int route_first(const Topology& topo, RoutingAlgo algo, NodeId src, NodeId cur,
                 NodeId dst) {
-  return route_candidates(topo, algo, src, cur, dst).front();
+  return route_ports(topo, algo, src, cur, dst).front();
 }
 
 bool compatible(const Topology& topo, RoutingAlgo algo) {

@@ -13,6 +13,7 @@
 // enoc::Router).
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "noc/topology.hpp"
@@ -21,9 +22,29 @@ namespace sctm::noc {
 
 enum class RoutingAlgo { kXY, kYX, kOddEven, kRingShortest, kTorusDor };
 
+/// Fixed-capacity admissible-port set. Every routing function here is
+/// minimal, so at most two output ports are ever admissible (the two
+/// productive directions of a mesh quadrant under odd-even); returning this
+/// by value keeps the router's per-flit route computation off the heap.
+struct RoutePorts {
+  std::array<int, 2> ports{};
+  int count = 0;
+
+  void push_back(int p) { ports[static_cast<std::size_t>(count++)] = p; }
+  bool empty() const { return count == 0; }
+  int size() const { return count; }
+  int front() const { return ports[0]; }
+  const int* begin() const { return ports.data(); }
+  const int* end() const { return ports.data() + count; }
+};
+
 /// Admissible output ports (directional indices; never the local port — the
 /// caller ejects when cur == dst). Empty result is a contract violation and
-/// throws std::logic_error.
+/// throws std::logic_error. Allocation-free (datapath hot path).
+RoutePorts route_ports(const Topology& topo, RoutingAlgo algo, NodeId src,
+                       NodeId cur, NodeId dst);
+
+/// Vector-returning convenience wrapper over route_ports() (tests, tools).
 std::vector<int> route_candidates(const Topology& topo, RoutingAlgo algo,
                                   NodeId src, NodeId cur, NodeId dst);
 

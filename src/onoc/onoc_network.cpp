@@ -109,7 +109,7 @@ void OnocNetwork::inject(noc::Message msg) {
 
   // Path setup: request the receiver over the control mesh.
   const std::uint64_t pid = next_pending_id_++;
-  pending_.emplace(pid, Pending{msg});
+  pending_.insert(pid, Pending{msg});
   send_ctrl(CtrlKind::kSetup, msg.src, msg.dst, pid);
 }
 
@@ -145,11 +145,11 @@ void OnocNetwork::send_ctrl(CtrlKind kind, NodeId from, NodeId to,
 void OnocNetwork::on_ctrl_deliver(const noc::Message& ctrl) {
   const auto kind = static_cast<CtrlKind>(ctrl.tag >> 56);
   const std::uint64_t pid = ctrl.tag & ((std::uint64_t{1} << 56) - 1);
-  const auto it = pending_.find(pid);
-  if (it == pending_.end()) {
+  Pending* pending = pending_.find(pid);
+  if (pending == nullptr) {
     throw std::logic_error(name() + ": control message for unknown pending id");
   }
-  noc::Message& msg = it->second.msg;
+  noc::Message& msg = pending->msg;
 
   if (kind == CtrlKind::kSetup) {
     auto& recv = receivers_[static_cast<std::size_t>(msg.dst)];
@@ -166,7 +166,7 @@ void OnocNetwork::on_ctrl_deliver(const noc::Message& ctrl) {
   // tail has been detected (end of the optical transfer), plus a guard band.
   stat_arb_wait_.add(static_cast<double>(sim().now() - msg.inject_time));
   const noc::Message data = msg;
-  pending_.erase(it);
+  pending_.erase(pid);
   const Cycle ser = params_.ser_cycles(data.size_bytes);
   const Cycle tof =
       params_.tof_cycles(topo_.distance(data.src, data.dst), topo_.width());
@@ -185,11 +185,11 @@ void OnocNetwork::receiver_freed(NodeId dst) {
   }
   const std::uint64_t pid = recv.queue.front();
   recv.queue.pop_front();
-  const auto it = pending_.find(pid);
-  if (it == pending_.end()) {
+  const Pending* pending = pending_.find(pid);
+  if (pending == nullptr) {
     throw std::logic_error(name() + ": queued pending id vanished");
   }
-  send_ctrl(CtrlKind::kGrant, dst, it->second.msg.src, pid);
+  send_ctrl(CtrlKind::kGrant, dst, pending->msg.src, pid);
 }
 
 }  // namespace sctm::onoc

@@ -20,8 +20,9 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.hpp"
 
 #include "enoc/enoc_network.hpp"
 #include "noc/network.hpp"
@@ -83,7 +84,9 @@ class OnocNetwork : public noc::Network {
     std::deque<std::uint64_t> queue;  // pending ids waiting for a grant
   };
   std::vector<Receiver> receivers_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Path-setup transactions in flight, keyed by pending id (allocation-free
+  /// in steady state; see common/flat_map.hpp).
+  FlatMap<std::uint64_t, Pending> pending_;
   std::uint64_t next_pending_id_ = 1;
   std::uint64_t next_ctrl_msg_id_ = 1;
 

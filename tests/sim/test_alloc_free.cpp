@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "enoc/enoc_network.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -116,6 +117,55 @@ TEST(AllocFreeKernel, SteadyStateSchedulesAndDispatchesWithoutHeapTraffic) {
   EXPECT_EQ(g_allocs - allocs_before, 0u)
       << "steady-state kernel performed heap allocations over " << executed
       << " events";
+  EXPECT_EQ(InlineFn::heap_fallbacks() - fallbacks_before, 0u);
+}
+
+TEST(AllocFreeKernel, SteadyStateRouterTraversalIsAllocationFree) {
+  // The full flit datapath — network inject, flit synthesis into the staging
+  // ring, VC buffering, three-phase pipeline, link events, credits, ejection
+  // and delivery — must stop touching the heap once every retained-capacity
+  // structure (flit rings, pending-message table, wheel buckets, latency
+  // histogram) has warmed up to the workload's footprint.
+  Simulator sim;
+  const auto topo = noc::Topology::mesh(4, 4);
+  enoc::EnocNetwork net(sim, "enoc", topo, enoc::EnocParams{});
+  std::uint64_t delivered = 0;
+  net.set_deliver_callback([&](const noc::Message&) { ++delivered; });
+
+  // Rounds start phase-aligned to the 64-bucket calendar wheel so the
+  // steady-state rounds revisit exactly the bucket indices the warmup rounds
+  // grew (bucket capacity is retained per index; an unaligned burst would
+  // land its event spike in a cold bucket and honestly need to grow it).
+  constexpr Cycle kRoundStride = 512;
+  static_assert(kRoundStride % 64 == 0);
+  MsgId next_id = 1;
+  int round = 0;
+  auto run_round = [&] {
+    const Cycle start = static_cast<Cycle>(round++) * kRoundStride;
+    sim.schedule_at(start, [&] {
+      for (int i = 0; i < 16; ++i) {
+        noc::Message m;
+        m.id = next_id++;
+        m.src = static_cast<NodeId>(i);
+        m.dst = static_cast<NodeId>((i * 7 + 5) % 16);
+        if (m.dst == m.src) m.dst = (m.dst + 1) % 16;
+        m.size_bytes = 64;
+        m.cls = noc::MsgClass::kData;
+        net.inject(m);
+      }
+    });
+    sim.run();
+  };
+
+  for (int r = 0; r < 4; ++r) run_round();
+  ASSERT_EQ(delivered, 64u);
+
+  const std::uint64_t allocs_before = g_allocs;
+  const std::uint64_t fallbacks_before = InlineFn::heap_fallbacks();
+  for (int r = 0; r < 8; ++r) run_round();
+  EXPECT_EQ(delivered, 192u);
+  EXPECT_EQ(g_allocs - allocs_before, 0u)
+      << "steady-state flit injection/forwarding hit the heap";
   EXPECT_EQ(InlineFn::heap_fallbacks() - fallbacks_before, 0u);
 }
 

@@ -66,6 +66,71 @@ TEST(TraceIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TraceIo, GoldenByteLayoutIsStable) {
+  // The exact on-disk bytes for a tiny trace, pinned by hand from the header
+  // comment in trace_io.hpp. Guards the buffered serializer (and any future
+  // rewrite) against silent format drift: traces written by old builds must
+  // stay readable bit-for-bit.
+  Trace t;
+  t.app = "ab";
+  t.capture_network = "m";
+  t.nodes = 2;
+  t.capture_runtime = 100;
+  t.seed = 7;
+  TraceRecord r;
+  r.id = 7;
+  r.src = 0;
+  r.dst = 1;
+  r.size_bytes = 64;
+  r.cls = noc::MsgClass::kData;  // = 2
+  r.proto = 9;
+  r.inject_time = 10;
+  r.arrive_time = 20;
+  r.deps.push_back({3, 5});
+  t.records.push_back(r);
+
+  static const unsigned char kExpected[] = {
+      // magic
+      'S', 'C', 'T', 'M', 'T', 'R', 'C', '1',
+      // app: u32 len + bytes
+      2, 0, 0, 0, 'a', 'b',
+      // capture_network
+      1, 0, 0, 0, 'm',
+      // i32 nodes, u64 runtime, u64 seed, u64 record count
+      2, 0, 0, 0,
+      100, 0, 0, 0, 0, 0, 0, 0,
+      7, 0, 0, 0, 0, 0, 0, 0,
+      1, 0, 0, 0, 0, 0, 0, 0,
+      // record: u64 id, i32 src, i32 dst, u32 size, u8 cls, u8 proto
+      7, 0, 0, 0, 0, 0, 0, 0,
+      0, 0, 0, 0,
+      1, 0, 0, 0,
+      64, 0, 0, 0,
+      2,
+      9,
+      // u64 inject, u64 arrive, u16 dep count, dep (u64 parent, u64 slack)
+      10, 0, 0, 0, 0, 0, 0, 0,
+      20, 0, 0, 0, 0, 0, 0, 0,
+      1, 0,
+      3, 0, 0, 0, 0, 0, 0, 0,
+      5, 0, 0, 0, 0, 0, 0, 0,
+  };
+
+  std::stringstream buf;
+  write_binary(t, buf);
+  const std::string bytes = buf.str();
+  ASSERT_EQ(bytes.size(), sizeof kExpected);
+  for (std::size_t i = 0; i < sizeof kExpected; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(bytes[i]), kExpected[i])
+        << "byte " << i << " diverged from the golden layout";
+  }
+
+  // And the pinned bytes parse back to the identical trace.
+  std::stringstream in(std::string(
+      reinterpret_cast<const char*>(kExpected), sizeof kExpected));
+  EXPECT_EQ(read_binary(in), t);
+}
+
 TEST(TraceIo, BadMagicRejected) {
   std::stringstream buf;
   buf << "NOTATRACE-------";
