@@ -7,9 +7,12 @@
 // as an end-to-end check.
 #pragma once
 
+#include <ctime>
 #include <filesystem>
 #include <string>
 
+#include "common/json.hpp"
+#include "common/run_metrics.hpp"
 #include "common/table.hpp"
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
@@ -65,13 +68,55 @@ inline core::NetSpec ideal_spec(Cycle per_hop,
   return s;
 }
 
-/// Prints the table and writes bench_results/<slug>.csv.
+/// ISO-8601 UTC timestamp for bench manifests.
+inline std::string now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Builds the standard bench metrics document: manifest identifying the
+/// bench, the result table under results.table. Callers may add phases /
+/// stats / extra manifest entries before emit() writes it out.
+inline RunMetrics bench_metrics(const Table& table, const std::string& slug) {
+  RunMetrics m;
+  m.manifest.tool = "bench/" + slug;
+  m.manifest.created = now_iso8601();
+  JsonWriter results;
+  results.begin_object();
+  results.key("table");
+  write_table_json(results, table);
+  results.end_object();
+  m.set_results_json(std::move(results).str());
+  return m;
+}
+
+/// Prints the table and writes bench_results/<slug>.csv plus the
+/// schema-consistent bench_results/<slug>.json run-metrics document.
 inline void emit(const Table& table, const std::string& slug) {
   std::fputs(table.to_ascii().c_str(), stdout);
   std::fflush(stdout);
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
-  if (!ec) table.write_csv("bench_results/" + slug + ".csv");
+  if (ec) return;
+  table.write_csv("bench_results/" + slug + ".csv");
+  bench_metrics(table, slug).write_file("bench_results/" + slug + ".json");
+}
+
+/// emit() variant for benches that assemble their own metrics document
+/// (phases, stats, histograms) around the table.
+inline void emit(const Table& table, const std::string& slug,
+                 const RunMetrics& metrics) {
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::fflush(stdout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) return;
+  table.write_csv("bench_results/" + slug + ".csv");
+  metrics.write_file("bench_results/" + slug + ".json");
 }
 
 /// Exit helper: prints a verdict line and returns the process exit code.

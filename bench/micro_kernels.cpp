@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "core/driver.hpp"
 #include "enoc/enoc_network.hpp"
@@ -233,26 +235,42 @@ int run_event_kernel_comparison(int reps) {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
-  if (FILE* f = std::fopen("bench_results/BENCH_micro_kernels.json", "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"event_kernel\",\n");
-    std::fprintf(f,
-                 "  \"kernel\": \"banded calendar wheel + InlineFn vs "
-                 "std::priority_queue + std::function\",\n");
-    std::fprintf(f, "  \"workloads\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"events\": %llu, "
-                   "\"legacy_meps\": %.3f, \"banded_meps\": %.3f, "
-                   "\"speedup\": %.3f}%s\n",
-                   r.name.c_str(), static_cast<unsigned long long>(r.events),
-                   r.legacy_meps, r.banded_meps, r.speedup,
-                   i + 1 < results.size() ? "," : "");
+  if (!ec) {
+    RunMetrics m;
+    m.manifest.tool = "bench/micro_kernels event_kernel";
+    m.manifest.created = bench::now_iso8601();
+    m.manifest.set("kernel",
+                   std::string("banded calendar wheel + InlineFn vs "
+                               "std::priority_queue + std::function"));
+    JsonWriter jw;
+    jw.begin_object();
+    jw.key("workloads");
+    jw.begin_array();
+    for (const auto& r : results) {
+      jw.begin_object();
+      jw.key("name");
+      jw.value(r.name);
+      jw.key("events");
+      jw.value(r.events);
+      jw.key("legacy_meps");
+      jw.value(r.legacy_meps);
+      jw.key("banded_meps");
+      jw.value(r.banded_meps);
+      jw.key("speedup");
+      jw.value(r.speedup);
+      jw.end_object();
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"bar\": {\"workload\": \"bursty_same_cycle\", "
-                    "\"required_speedup\": 1.5}\n}\n");
-    std::fclose(f);
+    jw.end_array();
+    jw.key("bar");
+    jw.begin_object();
+    jw.key("workload");
+    jw.value("bursty_same_cycle");
+    jw.key("required_speedup");
+    jw.value(1.5);
+    jw.end_object();
+    jw.end_object();
+    m.set_results_json(std::move(jw).str());
+    m.write_file("bench_results/BENCH_micro_kernels.json");
   }
 
   const double bursty = results.front().speedup;
@@ -422,33 +440,53 @@ int run_data_plane_comparison(int reps, int scale) {
 
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
-  if (FILE* f = std::fopen("bench_results/BENCH_data_plane.json", "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"data_plane\",\n");
-    std::fprintf(f,
-                 "  \"kernel\": \"quiescence-aware activity scoreboard vs "
-                 "exhaustive per-cycle router ticking\",\n");
-    std::fprintf(f, "  \"workloads\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      std::fprintf(
-          f,
-          "    {\"name\": \"%s\", \"active_cycles\": %llu, "
-          "\"messages\": %llu, \"router_ticks_exhaustive\": %llu, "
-          "\"router_ticks_scoreboard\": %llu, \"exhaustive_mcps\": %.3f, "
-          "\"scoreboard_mcps\": %.3f, \"speedup\": %.3f}%s\n",
-          r.name.c_str(), static_cast<unsigned long long>(r.active_cycles),
-          static_cast<unsigned long long>(r.delivered),
-          static_cast<unsigned long long>(r.ticks_exhaustive),
-          static_cast<unsigned long long>(r.ticks_scoreboard),
-          r.exhaustive_mcps, r.scoreboard_mcps, r.speedup,
-          i + 1 < results.size() ? "," : "");
+  if (!ec) {
+    RunMetrics m;
+    m.manifest.tool = "bench/micro_kernels data_plane";
+    m.manifest.created = bench::now_iso8601();
+    m.manifest.set("kernel",
+                   std::string("quiescence-aware activity scoreboard vs "
+                               "exhaustive per-cycle router ticking"));
+    JsonWriter jw;
+    jw.begin_object();
+    jw.key("workloads");
+    jw.begin_array();
+    for (const auto& r : results) {
+      jw.begin_object();
+      jw.key("name");
+      jw.value(r.name);
+      jw.key("active_cycles");
+      jw.value(r.active_cycles);
+      jw.key("messages");
+      jw.value(r.delivered);
+      jw.key("router_ticks_exhaustive");
+      jw.value(r.ticks_exhaustive);
+      jw.key("router_ticks_scoreboard");
+      jw.value(r.ticks_scoreboard);
+      jw.key("exhaustive_mcps");
+      jw.value(r.exhaustive_mcps);
+      jw.key("scoreboard_mcps");
+      jw.value(r.scoreboard_mcps);
+      jw.key("speedup");
+      jw.value(r.speedup);
+      jw.end_object();
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f,
-                 "  \"bars\": [{\"workload\": \"sparse_low_load\", "
-                 "\"required_speedup\": 2.0}, {\"workload\": \"saturated\", "
-                 "\"required_speedup\": 0.95}]\n}\n");
-    std::fclose(f);
+    jw.end_array();
+    jw.key("bars");
+    jw.begin_array();
+    for (const auto& [workload, bar] :
+         {std::pair{"sparse_low_load", 2.0}, std::pair{"saturated", 0.95}}) {
+      jw.begin_object();
+      jw.key("workload");
+      jw.value(workload);
+      jw.key("required_speedup");
+      jw.value(bar);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    m.set_results_json(std::move(jw).str());
+    m.write_file("bench_results/BENCH_data_plane.json");
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -5,10 +5,15 @@
 // This is the "simple case-study" of the paper's abstract in example form
 // (the full sweep lives in bench/tab_casestudy.cpp).
 //
-// Build & run:  ./build/examples/onoc_vs_enoc
+// Build & run:  ./build/examples/onoc_vs_enoc [--stats-json <file>]
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <memory>
+#include <string>
 
+#include "common/json.hpp"
+#include "common/run_metrics.hpp"
 #include "common/table.hpp"
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
@@ -18,6 +23,15 @@
 namespace {
 
 using namespace sctm;
+
+std::string now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
 
 struct NetResult {
   Cycle runtime;
@@ -48,8 +62,12 @@ NetResult run_on(const fullsys::AppParams& app, const core::NetSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sctm;
+  std::string stats_json;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0) stats_json = argv[i + 1];
+  }
 
   Table table("case study: 16-core apps, electrical mesh vs optical crossbar");
   table.set_header({"app", "network", "runtime (cyc)", "mean pkt lat",
@@ -82,5 +100,21 @@ int main() {
     }
   }
   std::fputs(table.to_ascii().c_str(), stdout);
+
+  if (!stats_json.empty()) {
+    RunMetrics m;
+    m.manifest.tool = "onoc_vs_enoc";
+    m.manifest.created = now_iso8601();
+    m.manifest.set("apps", std::string("fft jacobi sort"));
+    m.manifest.set("cores", 16);
+    JsonWriter results;
+    results.begin_object();
+    results.key("table");
+    write_table_json(results, table);
+    results.end_object();
+    m.set_results_json(std::move(results).str());
+    m.write_file(stats_json);
+    std::printf("run metrics json -> %s\n", stats_json.c_str());
+  }
   return 0;
 }

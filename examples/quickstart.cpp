@@ -7,14 +7,40 @@
 //      timestamps) and with self-correction.
 //   3. Compare against execution-driven ground truth on the same ONOC.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [--stats-json <file>]
 #include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
 
+#include "common/json.hpp"
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
 
-int main() {
+namespace {
+
+/// Returns the value after `flag` in argv, or empty when absent.
+std::string flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+std::string now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace sctm;
+  const std::string stats_json = flag_value(argc, argv, "--stats-json");
 
   // The workload: a 16-core FFT kernel (butterfly exchanges + barriers).
   fullsys::AppParams app;
@@ -63,5 +89,29 @@ int main() {
               100 * en.runtime_err, 100 * en.mean_latency_err);
   std::printf("      sctm  trace error: runtime %.1f%%, mean latency %.1f%%\n",
               100 * es.runtime_err, 100 * es.mean_latency_err);
+
+  if (!stats_json.empty()) {
+    auto m = core::metrics_for_execution(app, onoc, truth, "quickstart",
+                                         now_iso8601());
+    m.add_phase("capture_enoc", capture.wall_seconds, capture.events);
+    m.add_phase("replay_naive", naive.wall_seconds, naive.result.events);
+    m.add_phase("replay_sctm", sctm.wall_seconds, sctm.result.events);
+    JsonWriter results;
+    results.begin_object();
+    results.key("truth_runtime_cycles");
+    results.value(std::uint64_t{truth.runtime});
+    results.key("naive_runtime_err");
+    results.value(en.runtime_err);
+    results.key("naive_mean_latency_err");
+    results.value(en.mean_latency_err);
+    results.key("sctm_runtime_err");
+    results.value(es.runtime_err);
+    results.key("sctm_mean_latency_err");
+    results.value(es.mean_latency_err);
+    results.end_object();
+    m.set_results_json(std::move(results).str());
+    m.write_file(stats_json);
+    std::printf("run metrics json -> %s\n", stats_json.c_str());
+  }
   return 0;
 }

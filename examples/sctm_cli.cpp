@@ -6,13 +6,24 @@
 //                     [--window W] [--iters-max 8] [--csv out.csv]
 //   sctm_cli inspect  --trace /tmp/t.bin [--text]
 //   sctm_cli exec     --app fft --net onoc-setup [...]   (execution-driven)
+//   sctm_cli validate --json metrics.json     (schema-check a metrics doc)
+//
+// Every run subcommand accepts --stats-json <path> to emit the machine-
+// readable run-metrics document (schema sctm.run_metrics.v1: manifest +
+// per-phase timing + stat-registry snapshot + results); `validate` is the
+// matching schema checker, used by CI as the emission gate.
 //
 // Networks: ideal | enoc | onoc-token | onoc-setup | hybrid.
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "common/json.hpp"
+#include "common/run_metrics.hpp"
 #include "common/table.hpp"
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
@@ -35,6 +46,9 @@ using namespace sctm;
       "  sctm_cli inspect --trace <file> [--text]\n"
       "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
       "[--iters N] [--mesh WxH] [--stats <file>]\n"
+      "  sctm_cli validate --json <file>\n"
+      "all run subcommands accept --stats-json <file> (machine-readable "
+      "run metrics)\n"
       "networks: ideal enoc onoc-token onoc-setup hybrid\n"
       "apps: jacobi fft lu sort barnes stream\n");
   std::exit(2);
@@ -110,6 +124,26 @@ fullsys::AppParams app_from(const std::map<std::string, std::string>& f,
   return app;
 }
 
+/// ISO-8601 UTC timestamp for run manifests (the metrics layer itself never
+/// reads the clock).
+std::string now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Writes `m` when --stats-json was given; reports the path on stdout.
+void maybe_emit_stats_json(const std::map<std::string, std::string>& f,
+                           const sctm::RunMetrics& m) {
+  const auto it = f.find("stats-json");
+  if (it == f.end()) return;
+  m.write_file(it->second);
+  std::printf("run metrics json -> %s\n", it->second.c_str());
+}
+
 int cmd_capture(const std::map<std::string, std::string>& f) {
   const auto spec = spec_from(f);
   const auto app = app_from(f, spec);
@@ -123,6 +157,11 @@ int cmd_capture(const std::map<std::string, std::string>& f) {
               spec.describe().c_str(),
               static_cast<unsigned long long>(exec.runtime),
               exec.wall_seconds, out->second.c_str());
+  auto metrics = core::metrics_for_execution(app, spec, exec,
+                                             "sctm_cli capture",
+                                             now_iso8601());
+  metrics.manifest.set("trace_out", out->second);
+  maybe_emit_stats_json(f, metrics);
   return 0;
 }
 
@@ -175,6 +214,9 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
     t.write_csv(csv->second);
     std::printf("per-message csv -> %s\n", csv->second.c_str());
   }
+  maybe_emit_stats_json(
+      f, core::metrics_for_replay(loaded, spec, cfg, rep, "sctm_cli replay",
+                                  now_iso8601()));
   return 0;
 }
 
@@ -195,6 +237,35 @@ int cmd_inspect(const std::map<std::string, std::string>& f) {
               graph.mean_deps(), graph.roots().size(),
               graph.critical_path_length());
   if (f.count("text")) std::fputs(trace::to_text(loaded).c_str(), stdout);
+
+  if (f.count("stats-json")) {
+    RunMetrics m;
+    m.manifest.tool = "sctm_cli inspect";
+    m.manifest.created = now_iso8601();
+    m.manifest.set("trace", core::trace_id(loaded));
+    m.manifest.set("app", loaded.app);
+    m.manifest.set("capture_net", loaded.capture_network);
+    m.manifest.set("nodes", loaded.nodes);
+    m.manifest.set("seed", loaded.seed);
+    Histogram lat;
+    for (const auto& r : loaded.records) lat.add(r.latency());
+    m.add_histogram("latency", lat, /*with_buckets=*/true);
+    JsonWriter results;
+    results.begin_object();
+    results.key("records");
+    results.value(static_cast<std::uint64_t>(loaded.records.size()));
+    results.key("capture_runtime_cycles");
+    results.value(std::uint64_t{loaded.capture_runtime});
+    results.key("mean_deps_per_record");
+    results.value(graph.mean_deps());
+    results.key("roots");
+    results.value(static_cast<std::uint64_t>(graph.roots().size()));
+    results.key("critical_path_records");
+    results.value(static_cast<std::uint64_t>(graph.critical_path_length()));
+    results.end_object();
+    m.set_results_json(std::move(results).str());
+    maybe_emit_stats_json(f, m);
+  }
   return 0;
 }
 
@@ -220,6 +291,30 @@ int cmd_exec(const std::map<std::string, std::string>& f) {
     std::fclose(out);
     std::printf("full stats dump -> %s\n", it->second.c_str());
   }
+  maybe_emit_stats_json(f, core::metrics_for_execution(app, spec, exec,
+                                                       "sctm_cli exec",
+                                                       now_iso8601()));
+  return 0;
+}
+
+int cmd_validate(const std::map<std::string, std::string>& f) {
+  const auto it = f.find("json");
+  if (it == f.end()) usage("--json required");
+  std::ifstream in(it->second, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", it->second.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  if (!validate_metrics_json(buf.str(), &err)) {
+    std::fprintf(stderr, "invalid metrics document %s: %s\n",
+                 it->second.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("%s: valid %s document\n", it->second.c_str(),
+              std::string(kMetricsSchema).c_str());
   return 0;
 }
 
@@ -234,6 +329,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(flags);
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "exec") return cmd_exec(flags);
+    if (cmd == "validate") return cmd_validate(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,16 +3,38 @@
 // random traffic. Useful for sanity-checking a network configuration before
 // committing to a long full-system run.
 //
-// Build & run:  ./build/examples/sweep_injection
+// Build & run:  ./build/examples/sweep_injection [--stats-json <file>]
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <memory>
+#include <string>
 
+#include "common/json.hpp"
+#include "common/run_metrics.hpp"
 #include "common/table.hpp"
 #include "core/driver.hpp"
 #include "noc/traffic.hpp"
 
-int main() {
+namespace {
+
+std::string now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace sctm;
+  std::string stats_json;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0) stats_json = argv[i + 1];
+  }
 
   Table table("uniform-random load sweep, 4x4 fabric, 64 B packets");
   table.set_header({"rate (pkt/node/cyc)", "network", "mean lat", "p99 lat",
@@ -40,5 +62,21 @@ int main() {
     }
   }
   std::fputs(table.to_ascii().c_str(), stdout);
+
+  if (!stats_json.empty()) {
+    RunMetrics m;
+    m.manifest.tool = "sweep_injection";
+    m.manifest.created = now_iso8601();
+    m.manifest.set("fabric", std::string("4x4"));
+    m.manifest.set("packet_bytes", 64);
+    JsonWriter results;
+    results.begin_object();
+    results.key("table");
+    write_table_json(results, table);
+    results.end_object();
+    m.set_results_json(std::move(results).str());
+    m.write_file(stats_json);
+    std::printf("run metrics json -> %s\n", stats_json.c_str());
+  }
   return 0;
 }

@@ -4,17 +4,40 @@
 // front end, then explore many network designs at trace speed).
 //
 // Build & run:  ./build/examples/trace_capture_replay [trace-file]
+//                                                     [--stats-json <file>]
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <string>
 
 #include "core/driver.hpp"
 #include "trace/dependency_graph.hpp"
 #include "trace/trace_io.hpp"
 
+namespace {
+
+std::string now_iso8601() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sctm;
-  const std::string path =
-      argc > 1 ? argv[1] : "/tmp/sctm_example_trace.bin";
+  std::string path = "/tmp/sctm_example_trace.bin";
+  std::string stats_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else {
+      path = argv[i];
+    }
+  }
 
   // --- capture ---
   fullsys::AppParams app;
@@ -67,5 +90,15 @@ int main(int argc, char** argv) {
   std::printf("fixed-point check on the capture network: %zu/%zu records "
               "mismatch (expect 0)\n",
               mismatches, loaded.records.size());
+
+  if (!stats_json.empty()) {
+    auto m = core::metrics_for_replay(loaded, capture_net, {}, back,
+                                      "trace_capture_replay", now_iso8601());
+    m.manifest.set("trace_file", path);
+    m.manifest.set("fixed_point_mismatches",
+                   static_cast<std::uint64_t>(mismatches));
+    m.write_file(stats_json);
+    std::printf("run metrics json -> %s\n", stats_json.c_str());
+  }
   return mismatches == 0 ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace sctm {
 
 Histogram::Histogram(std::uint64_t dense_limit) : dense_limit_(dense_limit) {}
@@ -28,13 +30,40 @@ void Histogram::add(std::uint64_t value) {
   }
 }
 
+void Histogram::add_count(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_lo_ += value * n;
+  if (value < dense_limit_) {
+    if (dense_.size() <= value) dense_.resize(std::bit_ceil(value + 1), 0);
+    dense_[value] += n;
+  } else {
+    overflow_[value] += n;
+  }
+}
+
 void Histogram::merge(const Histogram& other) {
+  // Count-wise fold: one add_count per distinct value in `other`, so merging
+  // per-worker/per-candidate histograms for sweep-level stats costs
+  // O(distinct values), not O(total samples). add_count re-buckets under
+  // this histogram's dense_limit_, which makes mismatched-limit operands
+  // exact: a value dense in `other` may land in our overflow map and vice
+  // versa. Guard against self-merge (iterating containers we mutate).
+  if (&other == this) {
+    Histogram copy = other;
+    merge(copy);
+    return;
+  }
   for (std::uint64_t v = 0; v < other.dense_.size(); ++v) {
-    for (std::uint64_t i = 0; i < other.dense_[v]; ++i) add(v);
+    add_count(v, other.dense_[v]);
   }
-  for (const auto& [v, n] : other.overflow_) {
-    for (std::uint64_t i = 0; i < n; ++i) add(v);
-  }
+  for (const auto& [v, n] : other.overflow_) add_count(v, n);
 }
 
 void Histogram::reset() {
@@ -84,6 +113,43 @@ std::string Histogram::summary() const {
      << " p95=" << percentile(0.95) << " p99=" << percentile(0.99)
      << " max=" << max();
   return ss.str();
+}
+
+void Histogram::write_json(JsonWriter& w, bool with_buckets) const {
+  w.begin_object();
+  w.key("count");
+  w.value(count_);
+  w.key("mean");
+  w.value(mean());
+  w.key("min");
+  w.value(min());
+  w.key("max");
+  w.value(max());
+  w.key("p50");
+  w.value(percentile(0.5));
+  w.key("p95");
+  w.value(percentile(0.95));
+  w.key("p99");
+  w.value(percentile(0.99));
+  if (with_buckets) {
+    w.key("buckets");
+    w.begin_array();
+    for (std::uint64_t v = 0; v < dense_.size(); ++v) {
+      if (dense_[v] == 0) continue;
+      w.begin_array();
+      w.value(v);
+      w.value(dense_[v]);
+      w.end_array();
+    }
+    for (const auto& [v, n] : overflow_) {
+      w.begin_array();
+      w.value(v);
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+  }
+  w.end_object();
 }
 
 }  // namespace sctm

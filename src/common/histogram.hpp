@@ -13,6 +13,8 @@
 
 namespace sctm {
 
+class JsonWriter;
+
 class Histogram {
  public:
   /// `dense_limit` bounds the dense region; samples >= limit go to the sparse
@@ -20,7 +22,16 @@ class Histogram {
   explicit Histogram(std::uint64_t dense_limit = 4096);
 
   void add(std::uint64_t value);
+
+  /// Adds `n` samples equal to `value` in O(1) (amortized).
+  void add_count(std::uint64_t value, std::uint64_t n);
+
+  /// Folds `other` into this histogram count-wise: O(distinct values in
+  /// other), not O(total sample count). Values are re-bucketed under *this*
+  /// histogram's dense limit, so operands with mismatched dense limits merge
+  /// exactly. Result is bit-identical to replaying every sample via add().
   void merge(const Histogram& other);
+
   void reset();
 
   std::uint64_t count() const { return count_; }
@@ -37,6 +48,11 @@ class Histogram {
 
   /// One-line summary "n=... mean=... p50=... p95=... p99=... max=...".
   std::string summary() const;
+
+  /// Emits {"count","mean","min","max","p50","p95","p99"} as the writer's
+  /// next value; `with_buckets` appends "buckets": [[value, count], ...]
+  /// (ascending by value — the exact distribution, not a lossy rebin).
+  void write_json(JsonWriter& w, bool with_buckets = false) const;
 
  private:
   std::uint64_t dense_limit_;

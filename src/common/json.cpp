@@ -1,0 +1,399 @@
+#include "common/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sctm {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void JsonWriter::comma_for_value() {
+  assert((depth_ == 0 || !in_object_.back() || pending_key_) &&
+         "JsonWriter: value inside an object requires a preceding key()");
+  if (depth_ > 0 && !pending_key_ && has_item_.back()) out_ += ',';
+  if (depth_ > 0 && !pending_key_) has_item_.back() = true;
+  pending_key_ = false;
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  in_object_.push_back(true);
+  has_item_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::end_object() {
+  assert(depth_ > 0 && in_object_.back() && !pending_key_);
+  out_ += '}';
+  in_object_.pop_back();
+  has_item_.pop_back();
+  if (--depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  in_object_.push_back(false);
+  has_item_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::end_array() {
+  assert(depth_ > 0 && !in_object_.back());
+  out_ += ']';
+  in_object_.pop_back();
+  has_item_.pop_back();
+  if (--depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  assert(depth_ > 0 && in_object_.back() && !pending_key_);
+  if (has_item_.back()) out_ += ',';
+  has_item_.back() = true;
+  out_ += quote(name);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += quote(s);
+  if (depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::value(double d) {
+  comma_for_value();
+  out_ += format_double(d);
+  if (depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  if (depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+  if (depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  comma_for_value();
+  out_ += b ? "true" : "false";
+  if (depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+  if (depth_ == 0) emitted_ = true;
+}
+
+void JsonWriter::raw(std::string_view fragment) {
+  comma_for_value();
+  out_.append(fragment.data(), fragment.size());
+  if (depth_ == 0) emitted_ = true;
+}
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonWriter::format_double(double d) {
+  if (!std::isfinite(d)) return "null";
+  // Shortest round-trippable decimal: try increasing precision until strtod
+  // reproduces the value exactly. %.17g always round-trips for IEEE doubles,
+  // so the loop terminates; most metrics values stop at %.6g or shorter.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  // %g may emit "inf"-free but exponent-only forms like "1e+06"; those are
+  // valid JSON. What is not valid is a leading '.' or a bare '-': %g never
+  // produces either. Ensure a token like "5" stays integral-looking (fine).
+  return buf;
+}
+
+std::string JsonWriter::str() && {
+  assert(complete() && "JsonWriter: document not complete");
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (err_) *err_ = what + " (at offset " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string);
+      }
+      case 't':
+      case 'f': return parse_literal(out);
+      case 'n': return parse_literal(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(JsonValue* out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (rest.rfind("true", 0) == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (rest.rfind("false", 0) == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (rest.rfind("null", 0) == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue* out) {
+    // RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // Notably rejects NaN, Infinity, leading '+', leading '.', hex.
+    const std::size_t start = pos_;
+    eat('-');
+    if (eat('0')) {
+      // no further digits allowed in the integer part
+    } else if (pos_ < text_.size() && text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      return fail("invalid number");
+    }
+    if (eat('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("invalid number: digits required after '.'");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("invalid number: digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(out->number)) {
+      return fail("number out of double range");
+    }
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid hex digit in \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // needed by our writer, which never splits astral characters).
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    eat('[');
+    out->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(&item)) return false;
+      out->array.push_back(std::move(item));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    eat('{');
+    out->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string k;
+      if (!parse_string(&k)) return false;
+      if (out->find(k) != nullptr) return fail("duplicate object key '" + k + "'");
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(&v)) return false;
+      out->object.emplace_back(std::move(k), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* err) {
+  JsonValue scratch;
+  Parser p(text, err);
+  return p.parse(out ? out : &scratch);
+}
+
+}  // namespace sctm

@@ -1,0 +1,108 @@
+// Dependency-free JSON support for the run-metrics observability layer.
+//
+// Two halves:
+//  * JsonWriter — a streaming emitter (objects/arrays/strings/numbers) that
+//    every metrics producer in the repo shares, so bench_results/*.json and
+//    --stats-json documents are escaped and formatted identically. Doubles
+//    are written with round-trippable precision (shortest representation
+//    that parses back to the same value); non-finite doubles are emitted as
+//    null — a JSON document must never contain a bare NaN/Infinity token.
+//  * JsonValue / json_parse — a minimal recursive-descent reader used by the
+//    schema tests and the `sctm_cli validate` CI gate. It accepts exactly
+//    RFC-8259 JSON (no comments, no trailing commas) and is not meant to be
+//    fast; the simulator only ever parses its own small documents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sctm {
+
+/// Streaming JSON emitter. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("fft");
+///   w.key("rows"); w.begin_array(); w.value(1.5); w.end_array();
+///   w.end_object();
+///   std::string doc = std::move(w).str();
+/// The writer inserts commas and validates nesting with asserts; misuse is a
+/// programming error, not a runtime condition.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value/container.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool b);
+  void null();
+
+  /// Splices a pre-serialized JSON fragment (itself produced by a
+  /// JsonWriter) as the next value. The fragment is trusted verbatim.
+  void raw(std::string_view fragment);
+
+  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters as
+  /// \uXXXX) and returns it wrapped in double quotes.
+  static std::string quote(std::string_view s);
+
+  /// Shortest decimal form of `d` that round-trips through strtod; "null"
+  /// for NaN/Inf. Integral values render without an exponent where possible.
+  static std::string format_double(double d);
+
+  bool complete() const { return depth_ == 0 && emitted_; }
+  /// The serialized document; call once finished (asserted complete).
+  std::string str() &&;
+  const std::string& buffer() const { return out_; }
+
+ private:
+  void comma_for_value();
+  std::string out_;
+  // One bit per nesting level: true = object (expects keys), false = array.
+  std::vector<bool> in_object_;
+  std::vector<bool> has_item_;
+  bool pending_key_ = false;
+  int depth_ = 0;
+  bool emitted_ = false;
+};
+
+/// Parsed JSON document node (tests / validation only).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object members (duplicate keys rejected at parse).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses `text` into a document. Returns false (and fills `err` when given)
+/// on any syntax violation, including trailing garbage, duplicate object
+/// keys, and bare NaN/Infinity tokens.
+bool json_parse(std::string_view text, JsonValue* out, std::string* err);
+
+}  // namespace sctm

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace sctm {
 
 void Accumulator::add(double x) {
@@ -40,10 +42,27 @@ void Accumulator::reset() { *this = Accumulator{}; }
 
 double Accumulator::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_);
+  // Sample variance: m2_ accumulates the sum of squared deviations, Bessel's
+  // correction divides by n-1 (see header for the rationale).
+  return m2_ / static_cast<double>(n_ - 1);
 }
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("n");
+  w.value(n_);
+  w.key("mean");
+  w.value(mean());
+  w.key("min");
+  w.value(min());
+  w.key("max");
+  w.value(max());
+  w.key("stddev");
+  w.value(stddev());
+  w.end_object();
+}
 
 std::uint64_t& StatRegistry::counter(std::string_view name) {
   const auto it = counters_.find(name);
@@ -88,6 +107,33 @@ std::string StatRegistry::report() const {
        << '\n';
   }
   return ss.str();
+}
+
+void StatRegistry::write_counters_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [k, v] : counters_) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+}
+
+void StatRegistry::write_accumulators_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [k, a] : accumulators_) {
+    w.key(k);
+    a.write_json(w);
+  }
+  w.end_object();
+}
+
+void StatRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  write_counters_json(w);
+  w.key("accumulators");
+  write_accumulators_json(w);
+  w.end_object();
 }
 
 void StatRegistry::reset() {

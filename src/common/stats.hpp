@@ -14,6 +14,8 @@
 
 namespace sctm {
 
+class JsonWriter;
+
 /// Streaming mean/variance/min/max over double samples.
 class Accumulator {
  public:
@@ -24,11 +26,20 @@ class Accumulator {
   std::uint64_t count() const { return n_; }
   double sum() const { return mean_ * static_cast<double>(n_); }
   double mean() const { return n_ ? mean_ : 0.0; }
-  /// Population variance; 0 with fewer than 2 samples.
+  /// *Sample* variance (Bessel-corrected, divides by n-1); 0 with fewer than
+  /// 2 samples. The registry's accumulators hold samples of an underlying
+  /// process (latencies, queue waits), so `sd=` in reports is the sample
+  /// statistic an experimenter would compute from the same data — dividing
+  /// by n would systematically understate spread for small n.
   double variance() const;
+  /// Sample standard deviation, sqrt(variance()).
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
+
+  /// Emits {"n":..,"mean":..,"min":..,"max":..,"stddev":..} as the writer's
+  /// next value.
+  void write_json(JsonWriter& w) const;
 
  private:
   std::uint64_t n_ = 0;
@@ -60,6 +71,15 @@ class StatRegistry {
 
   /// Human-readable dump, one stat per line, sorted by name.
   std::string report() const;
+
+  /// Emits {"counters": {...}, "accumulators": {...}} as the writer's next
+  /// value (names sorted — std::map order).
+  void write_json(JsonWriter& w) const;
+
+  /// Finer-grained emitters for callers composing a larger "stats" object:
+  /// each writes one {"name": value} object as the writer's next value.
+  void write_counters_json(JsonWriter& w) const;
+  void write_accumulators_json(JsonWriter& w) const;
 
   void reset();
 

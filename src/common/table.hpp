@@ -30,6 +30,8 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
   const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Aligned, boxed ASCII rendering.
   std::string to_ascii() const;

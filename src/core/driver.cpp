@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/json.hpp"
 #include "trace/capture.hpp"
 
 namespace sctm::core {
@@ -83,11 +84,17 @@ ExecutionRun run_execution(const fullsys::AppParams& app, const NetSpec& net,
   trace::TraceCapture capture(cmp, app.name, net.describe(),
                               net.topo.node_count());
   ExecutionRun out;
+  const double build_seconds = seconds_since(t0);
   out.runtime = cmp.run_to_completion();
-  out.trace = std::move(capture).finalize(out.runtime);
+  double finalize_seconds = 0;
+  out.trace = std::move(capture).finalize(out.runtime, &finalize_seconds);
   out.trace.seed = app.seed;
   out.events = sim.events_executed();
   out.stats_report = sim.stats().report();
+  out.stats = sim.stats();
+  out.phases.push_back({"build", build_seconds, 0});
+  out.phases.push_back({"execute", cmp.run_wall_seconds(), cmp.run_events()});
+  out.phases.push_back({"finalize_trace", finalize_seconds, 0});
   out.wall_seconds = seconds_since(t0);
   return out;
 }
@@ -97,8 +104,106 @@ ReplayRun run_replay(const trace::Trace& trace, const NetSpec& net,
   const auto t0 = std::chrono::steady_clock::now();
   ReplayRun out;
   out.result = replay(trace, make_factory(net), config);
+  for (const auto& it : out.result.iteration_log) {
+    out.phases.push_back(
+        {"iter " + std::to_string(it.iter), it.wall_seconds, it.events});
+  }
   out.wall_seconds = seconds_since(t0);
   return out;
+}
+
+std::string trace_id(const trace::Trace& trace) {
+  return trace.app + "@" + trace.capture_network +
+         "/seed=" + std::to_string(trace.seed) +
+         "/records=" + std::to_string(trace.records.size());
+}
+
+RunMetrics metrics_for_execution(const fullsys::AppParams& app,
+                                 const NetSpec& net, const ExecutionRun& run,
+                                 std::string tool, std::string created) {
+  RunMetrics m;
+  m.manifest.tool = std::move(tool);
+  m.manifest.created = std::move(created);
+  m.manifest.set("mode", "execution-driven");
+  m.manifest.set("app", app.name);
+  m.manifest.set("net", net.describe());
+  m.manifest.set("cores", app.cores);
+  m.manifest.set("lines_per_core", app.lines_per_core);
+  m.manifest.set("iterations", app.iterations);
+  m.manifest.set("seed", std::uint64_t{app.seed});
+  m.add_phases(run.phases);
+  m.set_stats(run.stats);
+
+  Histogram lat;
+  for (const auto& r : run.trace.records) lat.add(r.latency());
+  m.add_histogram("latency", lat);
+
+  JsonWriter results;
+  results.begin_object();
+  results.key("runtime_cycles");
+  results.value(std::uint64_t{run.runtime});
+  results.key("messages");
+  results.value(static_cast<std::uint64_t>(run.trace.records.size()));
+  results.key("events");
+  results.value(run.events);
+  results.key("wall_seconds");
+  results.value(run.wall_seconds);
+  results.end_object();
+  m.set_results_json(std::move(results).str());
+  return m;
+}
+
+RunMetrics metrics_for_replay(const trace::Trace& trace, const NetSpec& net,
+                              const ReplayConfig& config, const ReplayRun& run,
+                              std::string tool, std::string created) {
+  RunMetrics m;
+  m.manifest.tool = std::move(tool);
+  m.manifest.created = std::move(created);
+  m.manifest.set("mode", std::string("replay-") + to_string(config.mode));
+  m.manifest.set("trace", trace_id(trace));
+  m.manifest.set("net", net.describe());
+  m.manifest.set("nodes", trace.nodes);
+  if (config.mode != ReplayMode::kNaive) {
+    m.manifest.set("dependency_window",
+                   std::uint64_t{config.dependency_window});
+    m.manifest.set("max_iterations", config.max_iterations);
+  }
+  m.add_phases(run.phases);
+  m.set_stats(run.result.stats);
+  m.add_histogram("latency", run.result.latency_histogram());
+
+  JsonWriter results;
+  results.begin_object();
+  results.key("runtime_cycles");
+  results.value(std::uint64_t{run.result.runtime});
+  results.key("messages");
+  results.value(static_cast<std::uint64_t>(run.result.inject_time.size()));
+  results.key("events");
+  results.value(run.result.events);
+  results.key("iterations");
+  results.value(run.result.iterations);
+  results.key("residual");
+  results.value(run.result.residual);
+  results.key("wall_seconds");
+  results.value(run.wall_seconds);
+  results.key("iteration_log");
+  results.begin_array();
+  for (const auto& it : run.result.iteration_log) {
+    results.begin_object();
+    results.key("iter");
+    results.value(it.iter);
+    results.key("residual");
+    results.value(it.residual);
+    results.key("events");
+    results.value(it.events);
+    results.key("wall_seconds");
+    results.value(it.wall_seconds);
+    results.end_object();
+  }
+  results.end_array();
+  results.end_object();
+  m.set_results_json(std::move(results).str());
+  return m;
 }
 
 }  // namespace sctm::core

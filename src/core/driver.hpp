@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "common/run_metrics.hpp"
 #include "core/replay.hpp"
 #include "enoc/enoc_network.hpp"
 #include "fullsys/cmp_system.hpp"
@@ -45,6 +46,12 @@ struct ExecutionRun {
   std::uint64_t events = 0;  // kernel events executed
   /// Full stat-registry dump of the run (gem5-style stats file content).
   std::string stats_report;
+  /// Snapshot of the run's stat registry (network counters, cache/core/mc
+  /// stats — everything Components registered) for JSON export.
+  StatRegistry stats;
+  /// Per-phase timing: "build" (network + CMP construction), "execute"
+  /// (kernel run, with its event count), "finalize_trace" (validation).
+  std::vector<PhaseMetrics> phases;
 };
 
 /// Runs the application execution-driven on `net`, capturing a trace.
@@ -54,10 +61,32 @@ ExecutionRun run_execution(const fullsys::AppParams& app, const NetSpec& net,
 struct ReplayRun {
   ReplayResult result;
   double wall_seconds = 0;
+  /// Per-phase timing: one "iter N" phase per replay pass (events = kernel
+  /// events of that pass).
+  std::vector<PhaseMetrics> phases;
 };
 
 /// Replays `trace` over a fresh network built from `net`.
 ReplayRun run_replay(const trace::Trace& trace, const NetSpec& net,
                      const ReplayConfig& config);
+
+/// Short provenance string identifying `trace` in run manifests
+/// ("<app>@<capture-net>/seed=S/records=N").
+std::string trace_id(const trace::Trace& trace);
+
+/// Assembles the standard metrics document for an execution-driven run:
+/// manifest (tool, caller-supplied timestamp, app/net config echo), the
+/// run's phases, full stat-registry snapshot, a "latency" histogram, and a
+/// results object with runtime/messages/events.
+RunMetrics metrics_for_execution(const fullsys::AppParams& app,
+                                 const NetSpec& net, const ExecutionRun& run,
+                                 std::string tool, std::string created);
+
+/// Same for a replay run: manifest echoes the trace id, target net, and
+/// replay mode/window; phases carry the per-iteration records; results hold
+/// runtime/iterations/residual plus the per-iteration convergence log.
+RunMetrics metrics_for_replay(const trace::Trace& trace, const NetSpec& net,
+                              const ReplayConfig& config, const ReplayRun& run,
+                              std::string tool, std::string created);
 
 }  // namespace sctm::core

@@ -7,7 +7,11 @@ namespace sctm::core {
 namespace {
 
 double rel_err(double model, double truth) {
-  if (truth == 0.0) return model == 0.0 ? 0.0 : 1.0;
+  // Zero truth has no relative scale; fall back to the absolute error so a
+  // 1-cycle miss and a 10^6-cycle miss stop scoring identically (the old
+  // flat 1.0 let ErrorReport::worst() mask real regressions). See the
+  // ErrorReport contract in error_metrics.hpp.
+  if (truth == 0.0) return std::abs(model);
   return std::abs(model - truth) / truth;
 }
 

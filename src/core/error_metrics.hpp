@@ -30,7 +30,13 @@ RunSummary summarize(const trace::Trace& trace);
 RunSummary summarize(const trace::Trace& trace, const ReplayResult& replayed);
 
 struct ErrorReport {
-  double mean_latency_err = 0.0;  // |model - truth| / truth
+  // Each component is |model - truth| / truth, except when truth == 0:
+  // relative error is then undefined, and the component holds the *absolute*
+  // error |model| instead (exact match still scores 0). The fallback keeps
+  // worst() monotone in the size of the miss — a degenerate zero-truth
+  // metric can no longer hide an arbitrarily large regression behind a
+  // constant score.
+  double mean_latency_err = 0.0;
   double p50_latency_err = 0.0;
   double p99_latency_err = 0.0;
   double runtime_err = 0.0;

@@ -1,8 +1,8 @@
 #include "core/replay.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
-#include <unordered_map>
 #include <stdexcept>
 
 namespace sctm::core {
@@ -77,6 +77,7 @@ ReplayResult replay_once(const trace::Trace& trace,
                          const ReplayConfig& config,
                          const std::vector<Cycle>* baseline,
                          const KeptDepsCsr* kept) {
+  const auto pass_t0 = std::chrono::steady_clock::now();
   const auto n = static_cast<std::uint32_t>(trace.records.size());
   const bool naive = (config.mode == ReplayMode::kNaive);
 
@@ -136,20 +137,15 @@ ReplayResult replay_once(const trace::Trace& trace,
   // created when a cycle first gains a record, and network deliveries at a
   // cycle always precede it (link latencies are >= 1, so all deliveries for
   // cycle t were enqueued before t began).
-  std::unordered_map<Cycle, std::vector<std::uint32_t>> eligible_at;
+  EligibilityBatcher eligible;
   auto mark_eligible = [&](std::uint32_t idx, Cycle t) {
-    auto& batch = eligible_at[t];
-    if (batch.empty()) {
-      auto flush = [&eligible_at, &inject_record, t] {
-        auto node = eligible_at.extract(t);
-        auto& ids = node.mapped();
-        std::sort(ids.begin(), ids.end());
-        for (const std::uint32_t idx2 : ids) inject_record(idx2);
+    if (eligible.add(t, idx)) {
+      auto flush = [&eligible, &inject_record, t] {
+        eligible.flush(t, inject_record);
       };
       static_assert(InlineFn::fits_inline<decltype(flush)>());
       sim.schedule_late(t, std::move(flush));
     }
-    batch.push_back(idx);
   };
 
   net->set_deliver_callback([&](const noc::Message& msg) {
@@ -189,6 +185,10 @@ ReplayResult replay_once(const trace::Trace& trace,
   out.runtime = *std::max_element(out.arrive_time.begin(),
                                   out.arrive_time.end());
   out.events = sim.events_executed();
+  out.stats = sim.stats();
+  const auto pass_dt = std::chrono::steady_clock::now() - pass_t0;
+  out.iteration_log.push_back(
+      {1, 0.0, out.events, std::chrono::duration<double>(pass_dt).count()});
   return out;
 }
 
@@ -221,6 +221,8 @@ ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
   // times stop moving.
   const auto n = static_cast<std::uint32_t>(trace.records.size());
   std::uint64_t total_events = result.events;
+  std::vector<ReplayResult::IterationRecord> log =
+      std::move(result.iteration_log);
   for (int iter = 2; iter <= config.max_iterations; ++iter) {
     std::vector<Cycle> bound(n, 0);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -248,12 +250,18 @@ ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
     }
     shift /= static_cast<double>(n);
 
+    ReplayResult::IterationRecord rec = next.iteration_log.front();
+    rec.iter = iter;
+    rec.residual = shift;
+    log.push_back(rec);
+
     result = std::move(next);
     result.iterations = iter;
     result.residual = shift;
     if (shift < config.convergence_threshold) break;
   }
   result.events = total_events;
+  result.iteration_log = std::move(log);
   return result;
 }
 

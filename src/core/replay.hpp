@@ -23,12 +23,15 @@
 // "self-correction ... in a reasonable period of time" trade-off knob.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/histogram.hpp"
+#include "common/stats.hpp"
 #include "noc/network.hpp"
 #include "trace/dependency_graph.hpp"
 #include "trace/record.hpp"
@@ -52,17 +55,34 @@ struct ReplayConfig {
 
 /// Outcome of one replay pass.
 struct ReplayResult {
+  /// Per-iteration observability record (the convergence trajectory the
+  /// metrics document exports): pass number, mean |Δinject| against the
+  /// previous pass (0 for the first / exactly-converged passes), kernel
+  /// events executed by the pass, and its wall time.
+  struct IterationRecord {
+    int iter = 1;
+    double residual = 0.0;
+    std::uint64_t events = 0;
+    double wall_seconds = 0.0;
+  };
+
   /// Per record (same order as the trace): replayed times.
   std::vector<Cycle> inject_time;
   std::vector<Cycle> arrive_time;
   /// Predicted application runtime (latest arrival).
   Cycle runtime = 0;
-  /// Kernel events executed during the pass (cost metric, R-A2).
+  /// Kernel events executed across all passes (cost metric, R-A2).
   std::uint64_t events = 0;
   /// Iterations actually used (1 for single-pass engines).
   int iterations = 1;
   /// Mean |Δinject| of the final iteration (0 when exactly converged).
   double residual = 0.0;
+  /// One record per pass, in pass order.
+  std::vector<IterationRecord> iteration_log;
+  /// Stat-registry snapshot of the (final) pass's simulator — the target
+  /// network's counters (transmissions, arbitration waits, scoreboard
+  /// activity), surfaced in the run-metrics document.
+  StatRegistry stats;
 
   Histogram latency_histogram() const;
 };
@@ -96,6 +116,61 @@ struct KeptDepsCsr {
 /// in naive mode; the `window` smallest-slack deps per record otherwise).
 KeptDepsCsr build_kept_deps(const trace::Trace& trace,
                             const ReplayConfig& config);
+
+/// Batches records that become eligible at the same cycle so they can be
+/// injected in capture order (same-cycle arbitration ties must resolve as
+/// they did at capture). Allocation-free in steady state, upholding the
+/// kernel invariant (DESIGN.md §7): the cycle→batch index is a
+/// capacity-retaining FlatMap and batch storage is drawn from a recycled
+/// vector pool — unlike the former std::unordered_map<Cycle, std::vector>,
+/// which put a node allocation plus vector churn on every batch open/close.
+class EligibilityBatcher {
+ public:
+  /// Appends `idx` to cycle `t`'s batch. Returns true when `t` had no open
+  /// batch — the caller must then schedule the flush event for `t`.
+  bool add(Cycle t, std::uint32_t idx) {
+    if (const std::uint32_t* slot = slot_at_.find(t)) {
+      pool_[*slot].push_back(idx);
+      return false;
+    }
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    pool_[slot].push_back(idx);
+    slot_at_.insert(t, slot);
+    return true;
+  }
+
+  /// Sorts cycle `t`'s batch ascending (record/capture order), invokes
+  /// fn(idx) for each entry, and recycles the batch slot. No-op when `t` has
+  /// no open batch. The mapping is retired before dispatch, so a re-entrant
+  /// add() for the same cycle opens a fresh batch instead of corrupting the
+  /// one being drained.
+  template <typename Fn>
+  void flush(Cycle t, Fn&& fn) {
+    const std::uint32_t* found = slot_at_.find(t);
+    if (found == nullptr) return;
+    const std::uint32_t slot = *found;
+    slot_at_.erase(t);
+    std::sort(pool_[slot].begin(), pool_[slot].end());
+    // Index-based: fn may grow the pool (re-entrant add for another cycle).
+    for (std::size_t i = 0; i < pool_[slot].size(); ++i) fn(pool_[slot][i]);
+    pool_[slot].clear();
+    free_.push_back(slot);
+  }
+
+  std::size_t open_batches() const { return slot_at_.size(); }
+
+ private:
+  FlatMap<Cycle, std::uint32_t> slot_at_;
+  std::vector<std::vector<std::uint32_t>> pool_;
+  std::vector<std::uint32_t> free_;
+};
 
 /// Single-pass replay (naive, or self-correcting with an optional window;
 /// `baseline` overrides the per-record lower bounds — pass captured inject

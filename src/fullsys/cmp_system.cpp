@@ -1,6 +1,7 @@
 #include "fullsys/cmp_system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace sctm::fullsys {
@@ -229,8 +230,14 @@ std::vector<std::string> CmpSystem::audit_coherence() const {
 }
 
 Cycle CmpSystem::run_to_completion() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t events0 = sim().events_executed();
   start();
   sim().run();
+  run_wall_seconds_ = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  run_events_ = sim().events_executed() - events0;
   if (!finished()) {
     throw std::logic_error(name() +
                            ": simulation drained but cores not finished "

@@ -63,6 +63,12 @@ class CmpSystem final : public Component, public Fabric {
   /// (cycle at which the last core finished).
   Cycle run_to_completion();
 
+  /// Observability of the last run_to_completion() call: host wall time and
+  /// kernel events executed (feeds the "execute" phase of the run-metrics
+  /// document).
+  double run_wall_seconds() const { return run_wall_seconds_; }
+  std::uint64_t run_events() const { return run_events_; }
+
   bool finished() const;
   Cycle app_runtime() const;
 
@@ -106,6 +112,8 @@ class CmpSystem final : public Component, public Fabric {
   /// delivery path.
   FlatMap<MsgId, Cycle> arrival_time_;
   MsgId next_msg_id_ = 1;
+  double run_wall_seconds_ = 0.0;
+  std::uint64_t run_events_ = 0;
 
   std::uint64_t& stat_msgs_;
 };

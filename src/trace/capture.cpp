@@ -1,5 +1,6 @@
 #include "trace/capture.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace sctm::trace {
@@ -33,7 +34,8 @@ TraceCapture::TraceCapture(fullsys::CmpSystem& cmp, std::string app_name,
   });
 }
 
-Trace TraceCapture::finalize(Cycle capture_runtime) && {
+Trace TraceCapture::finalize(Cycle capture_runtime, double* wall_seconds) && {
+  const auto t0 = std::chrono::steady_clock::now();
   trace_.capture_runtime = capture_runtime;
   for (const auto& r : trace_.records) {
     if (r.arrive_time == kNoCycle) {
@@ -54,6 +56,11 @@ Trace TraceCapture::finalize(Cycle capture_runtime) && {
             std::to_string(r.id));
       }
     }
+  }
+  if (wall_seconds) {
+    *wall_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
   }
   return std::move(trace_);
 }

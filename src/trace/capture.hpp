@@ -19,8 +19,10 @@ class TraceCapture {
   /// Validates and returns the trace; call after the capture run finished.
   /// `capture_runtime` is the application runtime on the capture network.
   /// Throws std::logic_error when any message never arrived or dependencies
-  /// are acausal.
-  Trace finalize(Cycle capture_runtime) &&;
+  /// are acausal. When `wall_seconds` is non-null it receives the host time
+  /// spent validating/materializing the trace (the "finalize_trace" phase of
+  /// the run-metrics document).
+  Trace finalize(Cycle capture_runtime, double* wall_seconds = nullptr) &&;
 
   std::size_t captured() const { return trace_.records.size(); }
 

@@ -2,8 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace sctm {
 namespace {
+
+/// Two-pass textbook sample variance: sum((x - mean)^2) / (n - 1).
+double two_pass_sample_variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size() - 1);
+}
 
 TEST(Accumulator, EmptyIsZero) {
   const Accumulator a;
@@ -27,8 +41,45 @@ TEST(Accumulator, MeanMinMax) {
 TEST(Accumulator, VarianceMatchesClosedForm) {
   Accumulator a;
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
-  EXPECT_NEAR(a.variance(), 4.0, 1e-12);  // classic example, sigma^2 = 4
-  EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+  // Classic example: population sigma^2 = 4; variance() is the *sample*
+  // variance (n-1 denominator), so the expectation is 8*4/7 = 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, SingleSampleVarianceIsZero) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, VarianceMatchesTwoPassReference) {
+  std::vector<double> xs;
+  Accumulator a;
+  for (int i = 0; i < 257; ++i) {
+    // Deterministic but irregular values spanning a few orders of magnitude.
+    const double x = (i % 7) * 13.25 + (i % 3) * 0.001 + i * 0.5;
+    xs.push_back(x);
+    a.add(x);
+  }
+  const double ref = two_pass_sample_variance(xs);
+  EXPECT_NEAR(a.variance(), ref, 1e-9 * ref);
+  EXPECT_NEAR(a.stddev(), std::sqrt(ref), 1e-9 * std::sqrt(ref));
+}
+
+TEST(Accumulator, MergedVarianceMatchesTwoPassReference) {
+  std::vector<double> xs;
+  Accumulator left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 5.0 + (i % 11) * 1.75 - (i % 4) * 0.3;
+    xs.push_back(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), xs.size());
+  const double ref = two_pass_sample_variance(xs);
+  EXPECT_NEAR(left.variance(), ref, 1e-9 * ref);
 }
 
 TEST(Accumulator, MergeEqualsSequential) {

@@ -252,5 +252,40 @@ TEST(ErrorMetrics, RelativeErrorComputation) {
   EXPECT_NEAR(e.worst(), 0.2, 1e-12);
 }
 
+// Zero-truth components fall back to the absolute error |model| (an exact
+// match still scores 0), so a degenerate metric can't pin the report at a
+// constant and worst() stays monotone in the size of the miss.
+TEST(ErrorMetrics, ZeroTruthUsesAbsoluteError) {
+  RunSummary truth;  // everything zero
+  RunSummary exact = truth;
+  const auto e0 = compare(truth, exact);
+  EXPECT_DOUBLE_EQ(e0.worst(), 0.0);
+
+  RunSummary small = truth;
+  small.mean_latency = 2.0;
+  RunSummary big = truth;
+  big.mean_latency = 50.0;
+  const auto es = compare(truth, small);
+  const auto eb = compare(truth, big);
+  EXPECT_NEAR(es.mean_latency_err, 2.0, 1e-12);
+  EXPECT_NEAR(eb.mean_latency_err, 50.0, 1e-12);
+  EXPECT_LT(es.worst(), eb.worst());  // monotone in the miss size
+}
+
+TEST(ErrorMetrics, ZeroTruthComponentsAreIndependent) {
+  RunSummary truth;
+  truth.mean_latency = 100;
+  truth.p50_latency = 0;  // degenerate component
+  truth.p99_latency = 100;
+  truth.runtime = 1000;
+  RunSummary model = truth;
+  model.p50_latency = 7;
+  model.runtime = 1100;
+  const auto e = compare(truth, model);
+  EXPECT_NEAR(e.p50_latency_err, 7.0, 1e-12);   // absolute fallback
+  EXPECT_NEAR(e.runtime_err, 0.1, 1e-12);       // ordinary relative error
+  EXPECT_DOUBLE_EQ(e.mean_latency_err, 0.0);
+}
+
 }  // namespace
 }  // namespace sctm::core

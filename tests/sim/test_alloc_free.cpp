@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/replay.hpp"
 #include "enoc/enoc_network.hpp"
 #include "sim/simulator.hpp"
 
@@ -167,6 +168,43 @@ TEST(AllocFreeKernel, SteadyStateRouterTraversalIsAllocationFree) {
   EXPECT_EQ(g_allocs - allocs_before, 0u)
       << "steady-state flit injection/forwarding hit the heap";
   EXPECT_EQ(InlineFn::heap_fallbacks() - fallbacks_before, 0u);
+}
+
+TEST(AllocFreeKernel, ReplayEligibilityBatcherSteadyStateIsAllocationFree) {
+  // The replay scheduler's per-cycle injection batching (cycle -> record
+  // batch) must retain capacity across cycles: after warming up to the
+  // workload's footprint (batch sizes, concurrent in-flight cycles), the
+  // add/flush churn of a steady-state replay slice performs zero heap
+  // allocations. This is the structure that replaced the per-pass
+  // unordered_map<Cycle, vector> in replay_once().
+  core::EligibilityBatcher batcher;
+  std::uint64_t dispatched = 0;
+  auto sink = [&dispatched](std::uint32_t) { ++dispatched; };
+
+  constexpr int kInFlight = 16;   // concurrent eligible cycles
+  constexpr int kBatch = 48;      // records per cycle (same-cycle burst)
+  auto run_slice = [&](Cycle base, int cycles) {
+    for (int c = 0; c < cycles; ++c) {
+      const Cycle t = base + static_cast<Cycle>(c);
+      for (std::uint32_t i = 0; i < kBatch; ++i) {
+        // Out-of-order adds, as dependency resolution produces them.
+        batcher.add(t, (kBatch - i) * 7 % 97);
+      }
+      if (c >= kInFlight) batcher.flush(t - kInFlight, sink);
+    }
+    for (int c = cycles - kInFlight; c < cycles; ++c) {
+      batcher.flush(base + static_cast<Cycle>(c), sink);
+    }
+  };
+
+  run_slice(0, 256);  // warmup: grow the slot pool and the cycle map
+  ASSERT_EQ(dispatched, 256u * kBatch);
+
+  const std::uint64_t allocs_before = g_allocs;
+  run_slice(1000, 2048);  // steady state at the same footprint
+  EXPECT_EQ(dispatched, (256u + 2048u) * kBatch);
+  EXPECT_EQ(g_allocs - allocs_before, 0u)
+      << "steady-state eligibility batching hit the heap";
 }
 
 TEST(AllocFreeKernel, FarHeapPathAllocatesOnlyForGrowth) {
