@@ -1,12 +1,22 @@
 // sctm_cli — command-line front end for the capture/replay workflow.
 //
-//   sctm_cli capture  --app fft --net enoc --out /tmp/t.bin [--cores 16]
-//                     [--lines 16] [--iters 2] [--mesh 4x4]
-//   sctm_cli replay   --trace /tmp/t.bin --net onoc-token [--mode sctm]
+//   sctm_cli capture  --app fft --net enoc --out /tmp/t.trc2 [--cores 16]
+//                     [--lines 16] [--iters 2] [--mesh 4x4] [--format v1|v2]
+//   sctm_cli replay   --trace /tmp/t.trc2 --net onoc-token [--mode sctm]
 //                     [--window W] [--iters-max 8] [--csv out.csv]
-//   sctm_cli inspect  --trace /tmp/t.bin [--text]
+//   sctm_cli inspect  --trace /tmp/t.trc2 [--text]
 //   sctm_cli exec     --app fft --net onoc-setup [...]   (execution-driven)
 //   sctm_cli validate --json metrics.json     (schema-check a metrics doc)
+//
+// Container tooling (the v2 trace store):
+//
+//   sctm_cli trace info    --trace <file> [--chunks]
+//   sctm_cli trace convert --in <file> --out <file> [--format v1|v2]
+//                          [--chunk N]
+//   sctm_cli trace verify  --trace <file> [--quick]
+//   sctm_cli trace hash    --trace <file>
+//   sctm_cli trace add     --trace <file> --dir <catalog>
+//   sctm_cli trace list    --dir <catalog>
 //
 // Every run subcommand accepts --stats-json <path> to emit the machine-
 // readable run-metrics document (schema sctm.run_metrics.v1: manifest +
@@ -29,6 +39,8 @@
 #include "core/error_metrics.hpp"
 #include "trace/dependency_graph.hpp"
 #include "trace/trace_io.hpp"
+#include "tracestore/catalog.hpp"
+#include "tracestore/trace_store.hpp"
 
 namespace {
 
@@ -40,13 +52,21 @@ using namespace sctm;
       stderr,
       "usage:\n"
       "  sctm_cli capture --app <name> --net <kind> --out <file> "
-      "[--cores N] [--lines N] [--iters N] [--mesh WxH] [--seed S]\n"
+      "[--cores N] [--lines N] [--iters N] [--mesh WxH] [--seed S] "
+      "[--format v1|v2]\n"
       "  sctm_cli replay  --trace <file> --net <kind> [--mode naive|sctm] "
       "[--window W] [--iters-max N] [--csv <file>] [--mesh WxH]\n"
       "  sctm_cli inspect --trace <file> [--text]\n"
       "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
       "[--iters N] [--mesh WxH] [--stats <file>]\n"
       "  sctm_cli validate --json <file>\n"
+      "  sctm_cli trace info    --trace <file> [--chunks]\n"
+      "  sctm_cli trace convert --in <file> --out <file> [--format v1|v2] "
+      "[--chunk N]\n"
+      "  sctm_cli trace verify  --trace <file> [--quick]\n"
+      "  sctm_cli trace hash    --trace <file>\n"
+      "  sctm_cli trace add     --trace <file> --dir <catalog>\n"
+      "  sctm_cli trace list    --dir <catalog>\n"
       "all run subcommands accept --stats-json <file> (machine-readable "
       "run metrics)\n"
       "networks: ideal enoc onoc-token onoc-setup hybrid\n"
@@ -61,7 +81,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage(("unexpected token " + key).c_str());
     key = key.substr(2);
-    if (key == "text") {  // boolean flag
+    if (key == "text" || key == "chunks" || key == "quick") {  // booleans
       out[key] = "1";
       continue;
     }
@@ -135,6 +155,15 @@ std::string now_iso8601() {
   return buf;
 }
 
+trace::TraceFormat format_from(const std::map<std::string, std::string>& f,
+                               trace::TraceFormat fallback) {
+  const auto it = f.find("format");
+  if (it == f.end()) return fallback;
+  if (it->second == "v1") return trace::TraceFormat::kV1;
+  if (it->second == "v2") return trace::TraceFormat::kV2;
+  usage("--format must be v1 or v2");
+}
+
 /// Writes `m` when --stats-json was given; reports the path on stdout.
 void maybe_emit_stats_json(const std::map<std::string, std::string>& f,
                            const sctm::RunMetrics& m) {
@@ -149,14 +178,16 @@ int cmd_capture(const std::map<std::string, std::string>& f) {
   const auto app = app_from(f, spec);
   const auto out = f.find("out");
   if (out == f.end()) usage("--out required");
+  const auto format = format_from(f, trace::TraceFormat::kV2);
   const auto exec = core::run_execution(app, spec, {});
-  trace::write_binary_file(exec.trace, out->second);
+  trace::write_file(exec.trace, out->second, format);
   std::printf("captured %zu messages (%s on %s), runtime %llu cycles, "
-              "%.3f s wall -> %s\n",
+              "%.3f s wall -> %s (%s)\n",
               exec.trace.records.size(), app.name.c_str(),
               spec.describe().c_str(),
               static_cast<unsigned long long>(exec.runtime),
-              exec.wall_seconds, out->second.c_str());
+              exec.wall_seconds, out->second.c_str(),
+              trace::to_string(format));
   auto metrics = core::metrics_for_execution(app, spec, exec,
                                              "sctm_cli capture",
                                              now_iso8601());
@@ -168,12 +199,14 @@ int cmd_capture(const std::map<std::string, std::string>& f) {
 int cmd_replay(const std::map<std::string, std::string>& f) {
   const auto tr = f.find("trace");
   if (tr == f.end()) usage("--trace required");
-  const auto loaded = trace::read_binary_file(tr->second);
+  // v2 containers stream chunk-at-a-time into the replay representation; a
+  // whole record vector-of-vectors is never materialized.
+  const auto loaded = core::load_replay_trace(tr->second);
   auto spec = spec_from(f);
   // Default the fabric to the trace's node count when not overridden.
-  if (f.find("mesh") == f.end() && loaded.nodes == 16) {
+  if (f.find("mesh") == f.end() && loaded.nodes() == 16) {
     spec.topo = noc::Topology::mesh(4, 4);
-  } else if (f.find("mesh") == f.end() && loaded.nodes == 64) {
+  } else if (f.find("mesh") == f.end() && loaded.nodes() == 64) {
     spec.topo = noc::Topology::mesh(8, 8);
   }
 
@@ -192,10 +225,10 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
 
   const auto rep = core::run_replay(loaded, spec, cfg);
   const auto h = rep.result.latency_histogram();
-  std::printf("replayed %zu messages on %s (%s): runtime %llu cycles, "
+  std::printf("replayed %u messages on %s (%s): runtime %llu cycles, "
               "latency mean %.1f p50 %llu p99 %llu, %d iteration(s), "
               "%.4f s wall\n",
-              loaded.records.size(), spec.describe().c_str(),
+              loaded.size(), spec.describe().c_str(),
               core::to_string(cfg.mode),
               static_cast<unsigned long long>(rep.result.runtime), h.mean(),
               static_cast<unsigned long long>(h.percentile(0.5)),
@@ -204,8 +237,8 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
   if (const auto csv = f.find("csv"); csv != f.end()) {
     Table t("replay");
     t.set_header({"id", "inject", "arrive", "latency"});
-    for (std::size_t i = 0; i < loaded.records.size(); ++i) {
-      t.add_row({Table::fmt(loaded.records[i].id),
+    for (std::uint32_t i = 0; i < loaded.size(); ++i) {
+      t.add_row({Table::fmt(loaded.id(i)),
                  Table::fmt(rep.result.inject_time[i]),
                  Table::fmt(rep.result.arrive_time[i]),
                  Table::fmt(rep.result.arrive_time[i] -
@@ -318,13 +351,170 @@ int cmd_validate(const std::map<std::string, std::string>& f) {
   return 0;
 }
 
+const std::string& require_flag(const std::map<std::string, std::string>& f,
+                                const char* key) {
+  const auto it = f.find(key);
+  if (it == f.end()) usage(("--" + std::string(key) + " required").c_str());
+  return it->second;
+}
+
+int cmd_trace_info(const std::map<std::string, std::string>& f) {
+  const auto& path = require_flag(f, "trace");
+  const auto fmt = trace::sniff_format(path);
+  if (fmt == trace::TraceFormat::kV1) {
+    const auto t = trace::read_binary_file(path);
+    std::printf("%s: format=v1 app=%s capture-net='%s' nodes=%d seed=%llu "
+                "records=%zu content-hash=%s\n",
+                path.c_str(), t.app.c_str(), t.capture_network.c_str(),
+                t.nodes, static_cast<unsigned long long>(t.seed),
+                t.records.size(),
+                tracestore::hash_hex(tracestore::content_hash(t)).c_str());
+    return 0;
+  }
+  const auto reader = tracestore::TraceReader::open_file(path);
+  const auto& m = reader.meta();
+  std::printf("%s: format=v2 app=%s capture-net='%s' nodes=%d seed=%llu\n",
+              path.c_str(), m.app.c_str(), m.capture_network.c_str(), m.nodes,
+              static_cast<unsigned long long>(m.seed));
+  std::printf("records=%llu chunks=%zu chunk-target=%u bytes=%llu "
+              "content-hash=%s\n",
+              static_cast<unsigned long long>(reader.record_count()),
+              reader.chunk_count(), reader.chunk_target(),
+              static_cast<unsigned long long>(reader.file_bytes()),
+              tracestore::hash_hex(reader.stored_content_hash()).c_str());
+  if (f.count("chunks")) {
+    for (std::size_t i = 0; i < reader.chunk_count(); ++i) {
+      const auto& c = reader.chunk_info(i);
+      std::printf("  chunk %zu: records [%llu, %llu) bytes=%u cycles "
+                  "[%llu, %llu]\n",
+                  i, static_cast<unsigned long long>(c.first_record),
+                  static_cast<unsigned long long>(c.first_record +
+                                                  c.record_count),
+                  c.payload_len,
+                  static_cast<unsigned long long>(c.min_cycle),
+                  static_cast<unsigned long long>(c.max_cycle));
+    }
+  }
+  return 0;
+}
+
+int cmd_trace_convert(const std::map<std::string, std::string>& f) {
+  const auto& in = require_flag(f, "in");
+  const auto& out = require_flag(f, "out");
+  const auto format = format_from(f, trace::TraceFormat::kV2);
+  const auto t = trace::read_binary_file(in);
+  if (format == trace::TraceFormat::kV2 && f.count("chunk")) {
+    tracestore::write_v2_file(
+        t, out, static_cast<std::uint32_t>(std::stoul(f.at("chunk"))));
+  } else {
+    trace::write_file(t, out, format);
+  }
+  const auto in_bytes = std::ifstream(in, std::ios::binary | std::ios::ate)
+                            .tellg();
+  const auto out_bytes = std::ifstream(out, std::ios::binary | std::ios::ate)
+                             .tellg();
+  std::printf("%s (%s, %lld bytes) -> %s (%s, %lld bytes), ratio %.2fx\n",
+              in.c_str(), trace::to_string(trace::sniff_format(in)),
+              static_cast<long long>(in_bytes), out.c_str(),
+              trace::to_string(format), static_cast<long long>(out_bytes),
+              out_bytes > 0 ? static_cast<double>(in_bytes) /
+                                  static_cast<double>(out_bytes)
+                            : 0.0);
+  return 0;
+}
+
+int cmd_trace_verify(const std::map<std::string, std::string>& f) {
+  const auto& path = require_flag(f, "trace");
+  if (trace::sniff_format(path) == trace::TraceFormat::kV1) {
+    // v1 has no checksums: "verify" = the strict reader accepts every byte.
+    try {
+      const auto t = trace::read_binary_file(path);
+      std::printf("%s: OK (v1, %zu records; no checksums in v1)\n",
+                  path.c_str(), t.records.size());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: CORRUPT (v1): %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  const auto rep = tracestore::verify_v2_file(path, /*deep=*/!f.count("quick"));
+  if (rep.ok) {
+    std::printf("%s: OK (v2, %llu records in %llu chunks%s)\n", path.c_str(),
+                static_cast<unsigned long long>(rep.records),
+                static_cast<unsigned long long>(rep.chunks),
+                rep.hash_checked ? ", content hash verified" : "");
+    return 0;
+  }
+  if (rep.bad_chunk >= 0) {
+    std::fprintf(stderr, "%s: CORRUPT in chunk %lld: %s\n", path.c_str(),
+                 static_cast<long long>(rep.bad_chunk), rep.error.c_str());
+  } else {
+    std::fprintf(stderr, "%s: CORRUPT (header/index/footer): %s\n",
+                 path.c_str(), rep.error.c_str());
+  }
+  return 1;
+}
+
+int cmd_trace_hash(const std::map<std::string, std::string>& f) {
+  const auto& path = require_flag(f, "trace");
+  // Recomputed over the logical content, so the hash is format-independent:
+  // a v1 file and its v2 conversion print the same address.
+  const auto t = trace::read_binary_file(path);
+  std::printf("%s  %s\n", tracestore::hash_hex(tracestore::content_hash(t)).c_str(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_trace_add(const std::map<std::string, std::string>& f) {
+  const auto& path = require_flag(f, "trace");
+  const auto& dir = require_flag(f, "dir");
+  tracestore::TraceCatalog catalog(dir);
+  const auto entry = catalog.add(trace::read_binary_file(path), now_iso8601());
+  std::printf("%s -> %s (%llu records, %llu chunks)\n", path.c_str(),
+              catalog.container_path(entry).c_str(),
+              static_cast<unsigned long long>(entry.records),
+              static_cast<unsigned long long>(entry.chunks));
+  return 0;
+}
+
+int cmd_trace_list(const std::map<std::string, std::string>& f) {
+  const auto& dir = require_flag(f, "dir");
+  const tracestore::TraceCatalog catalog(dir);
+  const auto entries = catalog.list();
+  for (const auto& e : entries) {
+    std::printf("%s  app=%s net='%s' nodes=%d seed=%llu records=%llu "
+                "bytes=%llu created=%s\n",
+                e.hash.c_str(), e.app.c_str(), e.capture_network.c_str(),
+                e.nodes, static_cast<unsigned long long>(e.seed),
+                static_cast<unsigned long long>(e.records),
+                static_cast<unsigned long long>(e.file_bytes),
+                e.created.empty() ? "-" : e.created.c_str());
+  }
+  std::printf("%zu trace(s) in %s\n", entries.size(), catalog.dir().c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) usage("trace: missing verb (info|convert|verify|hash|add|list)");
+  const std::string verb = argv[2];
+  const auto flags = parse_flags(argc, argv, 3);
+  if (verb == "info") return cmd_trace_info(flags);
+  if (verb == "convert") return cmd_trace_convert(flags);
+  if (verb == "verify") return cmd_trace_verify(flags);
+  if (verb == "hash") return cmd_trace_hash(flags);
+  if (verb == "add") return cmd_trace_add(flags);
+  if (verb == "list") return cmd_trace_list(flags);
+  usage(("unknown trace verb " + verb).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage("missing subcommand");
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
   try {
+    if (cmd == "trace") return cmd_trace(argc, argv);
+    const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "capture") return cmd_capture(flags);
     if (cmd == "replay") return cmd_replay(flags);
     if (cmd == "inspect") return cmd_inspect(flags);

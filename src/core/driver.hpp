@@ -70,9 +70,22 @@ struct ReplayRun {
 ReplayRun run_replay(const trace::Trace& trace, const NetSpec& net,
                      const ReplayConfig& config);
 
+/// Same over an already-ingested ReplayTrace — the streaming path: build it
+/// once (load_replay_trace / ReplayTrace::from_store) and reuse it across
+/// target networks without re-validating or re-resolving dependencies.
+ReplayRun run_replay(const ReplayTrace& rt, const NetSpec& net,
+                     const ReplayConfig& config);
+
+/// Loads a trace file straight into replay form, dispatching on the on-disk
+/// format: v2 containers stream chunk-at-a-time into the flat arrays (peak
+/// memory is the replay representation plus one decoded chunk, not the whole
+/// record vector-of-vectors), v1 monoliths go through the in-memory reader.
+ReplayTrace load_replay_trace(const std::string& path);
+
 /// Short provenance string identifying `trace` in run manifests
 /// ("<app>@<capture-net>/seed=S/records=N").
 std::string trace_id(const trace::Trace& trace);
+std::string trace_id(const ReplayTrace& rt);
 
 /// Assembles the standard metrics document for an execution-driven run:
 /// manifest (tool, caller-supplied timestamp, app/net config echo), the
@@ -86,6 +99,9 @@ RunMetrics metrics_for_execution(const fullsys::AppParams& app,
 /// replay mode/window; phases carry the per-iteration records; results hold
 /// runtime/iterations/residual plus the per-iteration convergence log.
 RunMetrics metrics_for_replay(const trace::Trace& trace, const NetSpec& net,
+                              const ReplayConfig& config, const ReplayRun& run,
+                              std::string tool, std::string created);
+RunMetrics metrics_for_replay(const ReplayTrace& rt, const NetSpec& net,
                               const ReplayConfig& config, const ReplayRun& run,
                               std::string tool, std::string created);
 

@@ -23,9 +23,9 @@ Histogram ReplayResult::latency_histogram() const {
   return h;
 }
 
-KeptDepsCsr build_kept_deps(const trace::Trace& trace,
+KeptDepsCsr build_kept_deps(const ReplayTrace& rt,
                             const ReplayConfig& config) {
-  const auto n = static_cast<std::uint32_t>(trace.records.size());
+  const std::uint32_t n = rt.size();
   const bool naive = (config.mode == ReplayMode::kNaive);
   const std::uint32_t window = config.dependency_window;
 
@@ -34,8 +34,8 @@ KeptDepsCsr build_kept_deps(const trace::Trace& trace,
   if (naive) return csr;
 
   std::size_t total = 0;
-  for (const auto& r : trace.records) {
-    total += std::min<std::size_t>(r.deps.size(), window);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    total += std::min<std::size_t>(rt.dep_count(i), window);
   }
   csr.deps.reserve(total);
 
@@ -43,13 +43,12 @@ KeptDepsCsr build_kept_deps(const trace::Trace& trace,
   // (slack, parent) only when it overflows the window.
   std::vector<trace::TraceDep> scratch;
   for (std::uint32_t i = 0; i < n; ++i) {
-    const auto& r = trace.records[i];
-    if (r.deps.size() <= window) {
-      csr.deps.insert(csr.deps.end(), r.deps.begin(), r.deps.end());
+    if (rt.dep_count(i) <= window) {
+      csr.deps.insert(csr.deps.end(), rt.deps_begin(i), rt.deps_end(i));
     } else {
       // The `window` smallest-slack dependencies (ties broken by parent id
       // for determinism).
-      scratch = r.deps;
+      scratch.assign(rt.deps_begin(i), rt.deps_end(i));
       std::sort(scratch.begin(), scratch.end(),
                 [](const auto& a, const auto& b) {
                   if (a.slack != b.slack) return a.slack < b.slack;
@@ -71,26 +70,27 @@ struct PassState {
 
 }  // namespace
 
-ReplayResult replay_once(const trace::Trace& trace,
-                         const trace::DependencyGraph& graph,
-                         const NetworkFactory& factory,
+ReplayResult replay_once(const ReplayTrace& rt, const NetworkFactory& factory,
                          const ReplayConfig& config,
                          const std::vector<Cycle>* baseline,
                          const KeptDepsCsr* kept) {
   const auto pass_t0 = std::chrono::steady_clock::now();
-  const auto n = static_cast<std::uint32_t>(trace.records.size());
+  if (!rt.finalized()) {
+    throw std::logic_error("replay: ReplayTrace not finalized");
+  }
+  const std::uint32_t n = rt.size();
   const bool naive = (config.mode == ReplayMode::kNaive);
 
   KeptDepsCsr local_csr;
   if (kept == nullptr) {
-    local_csr = build_kept_deps(trace, config);
+    local_csr = build_kept_deps(rt, config);
     kept = &local_csr;
   }
 
   Simulator sim;
   auto net = factory(sim);
   if (!net) throw std::logic_error("replay: factory returned null network");
-  if (net->node_count() != trace.nodes) {
+  if (net->node_count() != rt.nodes()) {
     throw std::invalid_argument("replay: network size != trace nodes");
   }
 
@@ -107,24 +107,22 @@ ReplayResult replay_once(const trace::Trace& trace,
   // defines the injection time (capture equality: inject == arrival+slack).
   std::vector<Cycle> bound(n, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const auto& r = trace.records[i];
     st.pending[i] = kept->count(i);
     if (baseline) {
       bound[i] = (*baseline)[i];
     } else {
       // First pass: anchor dependency-less schedules at the captured times.
-      bound[i] = st.pending[i] == 0 ? r.inject_time : 0;
+      bound[i] = st.pending[i] == 0 ? rt.inject_time(i) : 0;
     }
   }
 
   auto inject_record = [&](std::uint32_t idx) {
-    const auto& r = trace.records[idx];
     noc::Message m;
-    m.id = r.id;
-    m.src = r.src;
-    m.dst = r.dst;
-    m.size_bytes = r.size_bytes;
-    m.cls = r.cls;
+    m.id = rt.id(idx);
+    m.src = rt.src(idx);
+    m.dst = rt.dst(idx);
+    m.size_bytes = rt.size_bytes(idx);
+    m.cls = rt.cls(idx);
     m.tag = idx;
     out.inject_time[idx] = sim.now();
     net->inject(m);
@@ -152,9 +150,11 @@ ReplayResult replay_once(const trace::Trace& trace,
     const auto idx = static_cast<std::uint32_t>(msg.tag);
     out.arrive_time[idx] = msg.arrive_time;
     if (naive) return;
-    for (const std::uint32_t c : graph.children_of(idx)) {
+    const MsgId pid = rt.id(idx);
+    for (const std::uint32_t* cp = rt.children_begin(idx);
+         cp != rt.children_end(idx); ++cp) {
+      const std::uint32_t c = *cp;
       // Is this parent one of c's enforced deps? (kept sets are tiny)
-      const MsgId pid = trace.records[idx].id;
       for (auto it = kept->begin(c); it != kept->end(c); ++it) {
         const auto& d = *it;
         if (d.parent != pid) continue;
@@ -179,7 +179,7 @@ ReplayResult replay_once(const trace::Trace& trace,
     if (out.arrive_time[i] == kNoCycle) {
       throw std::logic_error(
           "replay: record never delivered (dependency cycle or lost "
-          "message), id=" + std::to_string(trace.records[i].id));
+          "message), id=" + std::to_string(rt.id(i)));
     }
   }
   out.runtime = *std::max_element(out.arrive_time.begin(),
@@ -192,54 +192,57 @@ ReplayResult replay_once(const trace::Trace& trace,
   return out;
 }
 
-ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
+ReplayResult replay(const ReplayTrace& rt, const NetworkFactory& factory,
                     const ReplayConfig& config) {
-  const trace::DependencyGraph graph(trace);
-  if (trace.records.empty()) {
+  if (!rt.finalized()) {
+    throw std::logic_error("replay: ReplayTrace not finalized");
+  }
+  if (rt.empty()) {
     ReplayResult empty;
     return empty;
   }
 
+  const std::uint32_t n = rt.size();
   std::uint32_t max_deps = 0;
-  for (const auto& r : trace.records) {
-    max_deps = std::max(max_deps, static_cast<std::uint32_t>(r.deps.size()));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    max_deps = std::max(max_deps, rt.dep_count(i));
   }
   const bool single_pass = (config.mode == ReplayMode::kNaive) ||
                            (config.dependency_window >= max_deps);
 
   // The enforced-dependency CSR depends only on (trace, config): build it
   // once and share it across every iterative pass.
-  const KeptDepsCsr csr = build_kept_deps(trace, config);
+  const KeptDepsCsr csr = build_kept_deps(rt, config);
 
-  ReplayResult result = replay_once(trace, graph, factory, config, nullptr,
-                                    &csr);
+  ReplayResult result = replay_once(rt, factory, config, nullptr, &csr);
   if (single_pass) return result;
 
   // Iterative self-correction for truncated windows: re-derive each
   // record's lower bound from its *full* dependency list evaluated against
   // the previous pass's arrival times, then replay again, until injection
   // times stop moving.
-  const auto n = static_cast<std::uint32_t>(trace.records.size());
   std::uint64_t total_events = result.events;
   std::vector<ReplayResult::IterationRecord> log =
       std::move(result.iteration_log);
   for (int iter = 2; iter <= config.max_iterations; ++iter) {
     std::vector<Cycle> bound(n, 0);
     for (std::uint32_t i = 0; i < n; ++i) {
-      const auto& r = trace.records[i];
-      if (r.deps.empty()) {
-        bound[i] = r.inject_time;  // anchors never move
+      const std::uint32_t dc = rt.dep_count(i);
+      if (dc == 0) {
+        bound[i] = rt.inject_time(i);  // anchors never move
         continue;
       }
       Cycle b = 0;
-      for (const auto& d : r.deps) {
-        const auto p = graph.index_of(d.parent);
-        b = std::max(b, result.arrive_time[p] + d.slack);
+      const trace::TraceDep* deps = rt.deps_begin(i);
+      for (std::uint32_t k = 0; k < dc; ++k) {
+        // Parents were resolved to record indices at finalize() — no id
+        // lookup in the iteration hot loop.
+        const std::uint32_t p = rt.dep_parent_index(i, k);
+        b = std::max(b, result.arrive_time[p] + deps[k].slack);
       }
       bound[i] = b;
     }
-    ReplayResult next = replay_once(trace, graph, factory, config, &bound,
-                                    &csr);
+    ReplayResult next = replay_once(rt, factory, config, &bound, &csr);
     total_events += next.events;
 
     double shift = 0;
@@ -263,6 +266,11 @@ ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
   result.events = total_events;
   result.iteration_log = std::move(log);
   return result;
+}
+
+ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
+                    const ReplayConfig& config) {
+  return replay(ReplayTrace(trace), factory, config);
 }
 
 }  // namespace sctm::core

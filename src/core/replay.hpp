@@ -32,8 +32,8 @@
 #include "common/flat_map.hpp"
 #include "common/histogram.hpp"
 #include "common/stats.hpp"
+#include "core/replay_input.hpp"
 #include "noc/network.hpp"
-#include "trace/dependency_graph.hpp"
 #include "trace/record.hpp"
 
 namespace sctm::core {
@@ -112,10 +112,9 @@ struct KeptDepsCsr {
   }
 };
 
-/// Builds the enforced-dependency CSR for `trace` under `config` (empty sets
+/// Builds the enforced-dependency CSR for `rt` under `config` (empty sets
 /// in naive mode; the `window` smallest-slack deps per record otherwise).
-KeptDepsCsr build_kept_deps(const trace::Trace& trace,
-                            const ReplayConfig& config);
+KeptDepsCsr build_kept_deps(const ReplayTrace& rt, const ReplayConfig& config);
 
 /// Batches records that become eligible at the same cycle so they can be
 /// injected in capture order (same-cycle arbitration ties must resolve as
@@ -175,16 +174,22 @@ class EligibilityBatcher {
 /// Single-pass replay (naive, or self-correcting with an optional window;
 /// `baseline` overrides the per-record lower bounds — pass captured inject
 /// times for the first iteration). `kept` may carry the precomputed
-/// dependency CSR; when null it is built internally for this pass.
-ReplayResult replay_once(const trace::Trace& trace,
-                         const trace::DependencyGraph& graph,
-                         const NetworkFactory& factory,
+/// dependency CSR; when null it is built internally for this pass. `rt` must
+/// be finalized.
+ReplayResult replay_once(const ReplayTrace& rt, const NetworkFactory& factory,
                          const ReplayConfig& config,
                          const std::vector<Cycle>* baseline = nullptr,
                          const KeptDepsCsr* kept = nullptr);
 
 /// Full engine: naive mode and full-window self-correcting mode run one
 /// pass; truncated windows iterate to a fixed point per the config.
+ReplayResult replay(const ReplayTrace& rt, const NetworkFactory& factory,
+                    const ReplayConfig& config);
+
+/// Convenience wrapper: builds the ReplayTrace (validating the dependency
+/// annotations) and runs the full engine. Prefer the ReplayTrace overload
+/// when replaying the same trace more than once or streaming from a v2
+/// container.
 ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,
                     const ReplayConfig& config);
 

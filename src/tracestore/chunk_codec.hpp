@@ -1,0 +1,55 @@
+// Delta/varint codec for one chunk of trace records.
+//
+// Records inside a chunk are encoded relative to their predecessor
+// (chunk-local state, so every chunk decodes standalone): ids and injection
+// times are near-monotone per record.hpp, so their zigzagged deltas are
+// 1-byte varints almost always; arrival is stored as latency relative to
+// the record's own injection; dependency parents are stored as the (small,
+// positive) distance below the record's own id. All deltas use wrapping
+// u64 arithmetic, so the codec round-trips arbitrary field values exactly
+// — including kNoCycle sentinels — it is merely *small* for well-formed
+// traces.
+//
+// Per record:
+//   vz(id - prev_id) vz(src) vz(dst) v(size_bytes) u8(cls) u8(proto)
+//   vz(inject - prev_inject) vz(arrive - inject)
+//   v(dep_count) { vz(id - parent) v(slack) } * dep_count
+// where v = LEB128 varint, vz = varint of zigzag(delta).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace sctm::tracestore {
+
+/// Streaming chunk encoder; reset() starts a new chunk.
+class ChunkEncoder {
+ public:
+  void reset() {
+    buf_.clear();
+    prev_id_ = 0;
+    prev_inject_ = 0;
+  }
+
+  void add(const trace::TraceRecord& r);
+
+  const std::vector<char>& bytes() const { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+  std::uint64_t prev_id_ = 0;
+  std::uint64_t prev_inject_ = 0;
+};
+
+/// Decodes a chunk payload holding exactly `expect_count` records, appending
+/// to `out` (which is NOT cleared — the streaming ingester decodes straight
+/// into its working set). Throws std::runtime_error on any malformation:
+/// truncated varint, overlong varint, dependency count exceeding the
+/// remaining payload, or trailing bytes after the last record.
+void decode_chunk(const char* data, std::size_t len,
+                  std::uint32_t expect_count,
+                  std::vector<trace::TraceRecord>& out);
+
+}  // namespace sctm::tracestore

@@ -1,0 +1,652 @@
+#include "tracestore/trace_store.hpp"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/parallel.hpp"
+
+namespace sctm::tracestore {
+namespace {
+
+// --- little-endian scalar packing into a byte buffer --------------------
+
+template <typename T>
+void put(std::vector<char>& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = buf.size();
+  buf.resize(n + sizeof v);
+  std::memcpy(buf.data() + n, &v, sizeof v);
+}
+
+/// Bounds-checked fixed-width cursor (header/index/footer parsing).
+class SpanReader {
+ public:
+  SpanReader(const char* data, std::size_t len) : data_(data), len_(len) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (len_ - pos_ < sizeof(T)) {
+      throw TraceStoreError("trace-store: truncated structure at byte " +
+                            std::to_string(pos_));
+    }
+    T v{};
+    std::memcpy(&v, data_ + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  std::string get_string(std::uint32_t len) {
+    if (len_ - pos_ < len) {
+      throw TraceStoreError("trace-store: truncated string at byte " +
+                            std::to_string(pos_));
+    }
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const char* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+// --- canonical content hashing ------------------------------------------
+// The hash is over the *logical* trace (meta + records in v1 field order),
+// not the container bytes, so a trace hashes identically in v1 and v2 form
+// and `sctm_cli trace hash` is a format-independent identity.
+
+void hash_meta(Fnv1a64& h, const std::string& app, const std::string& net,
+               std::int32_t nodes, Cycle runtime, std::uint64_t seed) {
+  h.update_scalar(static_cast<std::uint32_t>(app.size()));
+  h.update(app.data(), app.size());
+  h.update_scalar(static_cast<std::uint32_t>(net.size()));
+  h.update(net.data(), net.size());
+  h.update_scalar(nodes);
+  h.update_scalar(static_cast<std::uint64_t>(runtime));
+  h.update_scalar(seed);
+}
+
+void hash_record(Fnv1a64& h, const trace::TraceRecord& r) {
+  h.update_scalar(r.id);
+  h.update_scalar(r.src);
+  h.update_scalar(r.dst);
+  h.update_scalar(r.size_bytes);
+  h.update_scalar(static_cast<std::uint8_t>(r.cls));
+  h.update_scalar(r.proto);
+  h.update_scalar(static_cast<std::uint64_t>(r.inject_time));
+  h.update_scalar(static_cast<std::uint64_t>(r.arrive_time));
+  h.update_scalar(static_cast<std::uint64_t>(r.deps.size()));
+  for (const auto& d : r.deps) {
+    h.update_scalar(static_cast<std::uint64_t>(d.parent));
+    h.update_scalar(static_cast<std::uint64_t>(d.slack));
+  }
+}
+
+// --- byte sources --------------------------------------------------------
+
+class MemorySource final : public ByteSource {
+ public:
+  MemorySource(const char* data, std::size_t len) : data_(data), len_(len) {}
+  std::uint64_t size() const override { return len_; }
+  void read_at(std::uint64_t off, void* dst, std::size_t n) override {
+    if (off > len_ || len_ - off < n) {
+      throw TraceStoreError("trace-store: read past end of buffer (offset " +
+                            std::to_string(off) + ")");
+    }
+    std::memcpy(dst, data_ + off, n);
+  }
+
+ private:
+  const char* data_;
+  std::size_t len_;
+};
+
+class FileSource final : public ByteSource {
+ public:
+  explicit FileSource(const std::string& path)
+      : in_(path, std::ios::binary), path_(path) {
+    if (!in_) {
+      throw TraceStoreError("trace-store: cannot open " + path);
+    }
+    in_.seekg(0, std::ios::end);
+    size_ = static_cast<std::uint64_t>(in_.tellg());
+  }
+  std::uint64_t size() const override { return size_; }
+  void read_at(std::uint64_t off, void* dst, std::size_t n) override {
+    // Serialized so parallel chunk decode can share the source; decode
+    // itself (the expensive part) runs outside this lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(off));
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n) {
+      throw TraceStoreError("trace-store: short read from " + path_ +
+                            " at offset " + std::to_string(off));
+    }
+  }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  std::uint64_t size_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteSource> open_file_source(const std::string& path) {
+  return std::make_unique<FileSource>(path);
+}
+
+std::unique_ptr<ByteSource> memory_source(const char* data, std::size_t len) {
+  return std::make_unique<MemorySource>(data, len);
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return s;
+}
+
+bool parse_hash_hex(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+  }
+  if (out) *out = v;
+  return true;
+}
+
+bool is_v2_magic(const char* data, std::size_t len) {
+  return len >= sizeof kMagicV2 &&
+         std::memcmp(data, kMagicV2, sizeof kMagicV2) == 0;
+}
+
+std::uint64_t content_hash(const trace::Trace& t) {
+  Fnv1a64 h;
+  hash_meta(h, t.app, t.capture_network, t.nodes, t.capture_runtime, t.seed);
+  for (const auto& r : t.records) hash_record(h, r);
+  return h.value();
+}
+
+// ---------------------------------------------------------------------------
+// TraceWriter
+
+TraceWriter::TraceWriter(std::ostream& out, TraceMeta meta,
+                         std::uint32_t chunk_records)
+    : out_(out), chunk_records_(chunk_records == 0 ? 1 : chunk_records) {
+  std::vector<char> hdr;
+  hdr.insert(hdr.end(), kMagicV2, kMagicV2 + sizeof kMagicV2);
+  put<std::uint32_t>(hdr, 0);  // flags
+  put<std::uint32_t>(hdr, chunk_records_);
+  put<std::uint32_t>(hdr, static_cast<std::uint32_t>(meta.app.size()));
+  hdr.insert(hdr.end(), meta.app.begin(), meta.app.end());
+  put<std::uint32_t>(hdr,
+                     static_cast<std::uint32_t>(meta.capture_network.size()));
+  hdr.insert(hdr.end(), meta.capture_network.begin(),
+             meta.capture_network.end());
+  put<std::int32_t>(hdr, meta.nodes);
+  put<std::uint64_t>(hdr, meta.capture_runtime);
+  put<std::uint64_t>(hdr, meta.seed);
+  put<std::uint32_t>(hdr, crc32(hdr.data(), hdr.size()));
+  out_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+  if (!out_) throw TraceStoreError("trace-store: header write failed");
+  offset_ = hdr.size();
+  hash_meta(hash_, meta.app, meta.capture_network, meta.nodes,
+            meta.capture_runtime, meta.seed);
+  encoder_.reset();
+}
+
+TraceWriter::~TraceWriter() = default;
+
+void TraceWriter::append(const trace::TraceRecord& r) {
+  if (finished_) {
+    throw std::logic_error("trace-store: append after finish");
+  }
+  encoder_.add(r);
+  hash_record(hash_, r);
+  if (r.inject_time != kNoCycle) {
+    chunk_min_ = (chunk_min_ == kNoCycle) ? r.inject_time
+                                          : std::min(chunk_min_, r.inject_time);
+  }
+  if (r.arrive_time != kNoCycle) {
+    chunk_max_ = (chunk_max_ == kNoCycle) ? r.arrive_time
+                                          : std::max(chunk_max_, r.arrive_time);
+  }
+  ++records_;
+  if (++in_chunk_ == chunk_records_) flush_chunk();
+}
+
+void TraceWriter::flush_chunk() {
+  const auto& payload = encoder_.bytes();
+  ChunkInfo info;
+  info.file_offset = offset_;
+  info.payload_len = static_cast<std::uint32_t>(payload.size());
+  info.record_count = in_chunk_;
+  info.first_record = records_ - in_chunk_;
+  info.min_cycle = chunk_min_;
+  info.max_cycle = chunk_max_;
+
+  std::vector<char> hdr;
+  hdr.reserve(kChunkHeaderBytes);
+  put<std::uint32_t>(hdr, crc32(payload.data(), payload.size()));
+  put<std::uint32_t>(hdr, info.payload_len);
+  put<std::uint32_t>(hdr, info.record_count);
+  put<std::uint64_t>(hdr, info.first_record);
+  put<std::uint64_t>(hdr, info.min_cycle);
+  put<std::uint64_t>(hdr, info.max_cycle);
+  out_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_) throw TraceStoreError("trace-store: chunk write failed");
+  offset_ += hdr.size() + payload.size();
+
+  chunks_.push_back(info);
+  encoder_.reset();
+  in_chunk_ = 0;
+  chunk_min_ = kNoCycle;
+  chunk_max_ = kNoCycle;
+}
+
+void TraceWriter::finish() {
+  if (finished_) {
+    throw std::logic_error("trace-store: finish called twice");
+  }
+  if (in_chunk_ > 0) flush_chunk();
+  finished_ = true;
+
+  const std::uint64_t index_offset = offset_;
+  std::vector<char> index;
+  index.reserve(chunks_.size() * kIndexEntryBytes);
+  for (const auto& c : chunks_) {
+    put<std::uint64_t>(index, c.file_offset);
+    put<std::uint32_t>(index, c.payload_len);
+    put<std::uint32_t>(index, c.record_count);
+    put<std::uint64_t>(index, c.first_record);
+    put<std::uint64_t>(index, c.min_cycle);
+    put<std::uint64_t>(index, c.max_cycle);
+  }
+  std::vector<char> tail;
+  put<std::uint32_t>(tail, crc32(index.data(), index.size()));
+  put<std::uint32_t>(tail, static_cast<std::uint32_t>(index.size()));
+  tail.insert(tail.end(), index.begin(), index.end());
+
+  std::vector<char> footer;
+  put<std::uint64_t>(footer, index_offset);
+  put<std::uint64_t>(footer, static_cast<std::uint64_t>(chunks_.size()));
+  put<std::uint64_t>(footer, records_);
+  put<std::uint64_t>(footer, hash_.value());
+  put<std::uint32_t>(footer, crc32(footer.data(), footer.size()));
+  footer.insert(footer.end(), kTrailerV2, kTrailerV2 + sizeof kTrailerV2);
+
+  out_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  if (!out_) throw TraceStoreError("trace-store: footer write failed");
+  offset_ += tail.size() + footer.size();
+}
+
+void write_v2(const trace::Trace& t, std::ostream& out,
+              std::uint32_t chunk_records) {
+  TraceMeta meta;
+  meta.app = t.app;
+  meta.capture_network = t.capture_network;
+  meta.nodes = t.nodes;
+  meta.capture_runtime = t.capture_runtime;
+  meta.seed = t.seed;
+  TraceWriter w(out, std::move(meta), chunk_records);
+  for (const auto& r : t.records) w.append(r);
+  w.finish();
+}
+
+void write_v2_file(const trace::Trace& t, const std::string& path,
+                   std::uint32_t chunk_records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TraceStoreError("trace-store: cannot open " + path);
+  write_v2(t, out, chunk_records);
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+
+TraceReader::TraceReader(std::unique_ptr<ByteSource> source)
+    : source_(std::move(source)) {
+  const std::uint64_t sz = source_->size();
+  // Smallest valid file: 48-byte header (empty strings), empty index (8),
+  // footer (44).
+  constexpr std::uint64_t kMinHeader = 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 4;
+  if (sz < kMinHeader + 8 + kFooterBytes) {
+    throw TraceStoreError("trace-store: file too small to be a v2 container (" +
+                          std::to_string(sz) + " bytes)");
+  }
+
+  // Footer.
+  char fbuf[kFooterBytes];
+  source_->read_at(sz - kFooterBytes, fbuf, sizeof fbuf);
+  if (std::memcmp(fbuf + 36, kTrailerV2, sizeof kTrailerV2) != 0) {
+    throw TraceStoreError("trace-store: bad trailer magic (truncated file?)");
+  }
+  SpanReader fr(fbuf, sizeof fbuf);
+  const auto index_offset = fr.get<std::uint64_t>();
+  const auto chunk_count = fr.get<std::uint64_t>();
+  record_count_ = fr.get<std::uint64_t>();
+  content_hash_ = fr.get<std::uint64_t>();
+  const auto footer_crc = fr.get<std::uint32_t>();
+  if (crc32(fbuf, 32) != footer_crc) {
+    throw TraceStoreError("trace-store: footer checksum mismatch");
+  }
+  if (chunk_count > (sz / kChunkHeaderBytes) + 1 ||
+      index_offset + 8 + chunk_count * kIndexEntryBytes != sz - kFooterBytes) {
+    throw TraceStoreError("trace-store: index span inconsistent with footer");
+  }
+
+  // Index.
+  std::vector<char> ibuf(8 + chunk_count * kIndexEntryBytes);
+  source_->read_at(index_offset, ibuf.data(), ibuf.size());
+  SpanReader ir(ibuf.data(), ibuf.size());
+  const auto index_crc = ir.get<std::uint32_t>();
+  const auto index_len = ir.get<std::uint32_t>();
+  if (index_len != chunk_count * kIndexEntryBytes) {
+    throw TraceStoreError("trace-store: index length field mismatch");
+  }
+  if (crc32(ibuf.data() + 8, index_len) != index_crc) {
+    throw TraceStoreError("trace-store: index checksum mismatch");
+  }
+  chunks_.resize(chunk_count);
+  std::uint64_t running_records = 0;
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    ChunkInfo& c = chunks_[i];
+    c.file_offset = ir.get<std::uint64_t>();
+    c.payload_len = ir.get<std::uint32_t>();
+    c.record_count = ir.get<std::uint32_t>();
+    c.first_record = ir.get<std::uint64_t>();
+    c.min_cycle = ir.get<std::uint64_t>();
+    c.max_cycle = ir.get<std::uint64_t>();
+    if (c.first_record != running_records || c.record_count == 0) {
+      throw TraceStoreError("trace-store: chunk " + std::to_string(i) +
+                            " record range inconsistent");
+    }
+    running_records += c.record_count;
+    const std::uint64_t end = c.file_offset + kChunkHeaderBytes +
+                              c.payload_len;
+    if (end > index_offset) {
+      throw TraceStoreError("trace-store: chunk " + std::to_string(i) +
+                            " extends past the index");
+    }
+    if (i > 0) {
+      const ChunkInfo& p = chunks_[i - 1];
+      if (p.file_offset + kChunkHeaderBytes + p.payload_len !=
+          c.file_offset) {
+        throw TraceStoreError("trace-store: chunk " + std::to_string(i) +
+                              " is not contiguous with its predecessor");
+      }
+    }
+  }
+  if (running_records != record_count_) {
+    throw TraceStoreError("trace-store: chunk record counts do not sum to "
+                          "the footer record count");
+  }
+  if (!chunks_.empty()) {
+    const ChunkInfo& last = chunks_.back();
+    if (last.file_offset + kChunkHeaderBytes + last.payload_len !=
+        index_offset) {
+      throw TraceStoreError(
+          "trace-store: gap between the last chunk and the index");
+    }
+  }
+
+  // Header (its exact length is the first chunk's offset).
+  const std::uint64_t header_len =
+      chunks_.empty() ? index_offset : chunks_.front().file_offset;
+  if (header_len < kMinHeader || header_len > (1u << 22)) {
+    throw TraceStoreError("trace-store: implausible header length " +
+                          std::to_string(header_len));
+  }
+  std::vector<char> hbuf(header_len);
+  source_->read_at(0, hbuf.data(), hbuf.size());
+  if (!is_v2_magic(hbuf.data(), hbuf.size())) {
+    throw TraceStoreError("trace-store: bad magic (not an SCTMTRC2 file)");
+  }
+  SpanReader hr(hbuf.data(), hbuf.size());
+  hr.get_string(sizeof kMagicV2);  // skip magic
+  const auto flags = hr.get<std::uint32_t>();
+  if (flags != 0) {
+    throw TraceStoreError("trace-store: unknown header flags " +
+                          std::to_string(flags));
+  }
+  chunk_target_ = hr.get<std::uint32_t>();
+  const auto app_len = hr.get<std::uint32_t>();
+  meta_.app = hr.get_string(app_len);
+  const auto net_len = hr.get<std::uint32_t>();
+  meta_.capture_network = hr.get_string(net_len);
+  meta_.nodes = hr.get<std::int32_t>();
+  meta_.capture_runtime = hr.get<std::uint64_t>();
+  meta_.seed = hr.get<std::uint64_t>();
+  const std::size_t crc_pos = hr.pos();
+  const auto header_crc = hr.get<std::uint32_t>();
+  if (hr.remaining() != 0) {
+    throw TraceStoreError("trace-store: header length mismatch");
+  }
+  if (crc32(hbuf.data(), crc_pos) != header_crc) {
+    throw TraceStoreError("trace-store: header checksum mismatch");
+  }
+}
+
+void TraceReader::read_payload(std::size_t i, std::vector<char>& buf) const {
+  const ChunkInfo& info = chunks_[i];
+  char hdr[kChunkHeaderBytes];
+  source_->read_at(info.file_offset, hdr, sizeof hdr);
+  SpanReader hr(hdr, sizeof hdr);
+  const auto payload_crc = hr.get<std::uint32_t>();
+  const auto payload_len = hr.get<std::uint32_t>();
+  const auto record_count = hr.get<std::uint32_t>();
+  const auto first_record = hr.get<std::uint64_t>();
+  const auto min_cycle = hr.get<std::uint64_t>();
+  const auto max_cycle = hr.get<std::uint64_t>();
+  if (payload_len != info.payload_len || record_count != info.record_count ||
+      first_record != info.first_record || min_cycle != info.min_cycle ||
+      max_cycle != info.max_cycle) {
+    throw TraceStoreError("trace-store: chunk " + std::to_string(i) +
+                              " header disagrees with the index",
+                          static_cast<std::int64_t>(i));
+  }
+  buf.resize(payload_len);
+  source_->read_at(info.file_offset + kChunkHeaderBytes, buf.data(),
+                   payload_len);
+  if (crc32(buf.data(), buf.size()) != payload_crc) {
+    throw TraceStoreError("trace-store: chunk " + std::to_string(i) +
+                              " payload checksum mismatch",
+                          static_cast<std::int64_t>(i));
+  }
+}
+
+void TraceReader::read_chunk(std::size_t i,
+                             std::vector<trace::TraceRecord>& out) const {
+  std::vector<char> payload;
+  read_payload(i, payload);
+  try {
+    decode_chunk(payload.data(), payload.size(), chunks_[i].record_count,
+                 out);
+  } catch (const std::runtime_error& e) {
+    throw TraceStoreError("trace-store: chunk " + std::to_string(i) +
+                              " decode failed: " + e.what(),
+                          static_cast<std::int64_t>(i));
+  }
+}
+
+trace::Trace TraceReader::read_all(bool parallel) const {
+  trace::Trace t;
+  t.app = meta_.app;
+  t.capture_network = meta_.capture_network;
+  t.nodes = meta_.nodes;
+  t.capture_runtime = meta_.capture_runtime;
+  t.seed = meta_.seed;
+  if (chunks_.empty()) return t;
+
+  if (!parallel || chunks_.size() == 1) {
+    t.records.reserve(record_count_);
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      read_chunk(i, t.records);
+    }
+    return t;
+  }
+
+  // Chunks decode independently; each lands at its indexed slot, so the
+  // result is bit-identical to the sequential path.
+  t.records.resize(record_count_);
+  parallel_for(chunks_.size(), [&](std::size_t i) {
+    std::vector<trace::TraceRecord> local;
+    read_chunk(i, local);
+    const std::size_t base = chunks_[i].first_record;
+    for (std::size_t k = 0; k < local.size(); ++k) {
+      t.records[base + k] = std::move(local[k]);
+    }
+  });
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkCursor
+
+struct ChunkCursor::Prefetcher {
+  explicit Prefetcher(const TraceReader& reader) : reader_(reader) {
+    worker_ = std::thread([this] { run(); });
+  }
+
+  ~Prefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  void run() {
+    const std::size_t n = reader_.chunk_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<trace::TraceRecord> chunk;
+      try {
+        reader_.read_chunk(i, chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        error_ = std::current_exception();
+        done_ = true;
+        cv_.notify_all();
+        return;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return ready_.size() < 2 || stop_; });
+      if (stop_) return;
+      ready_.push_back(std::move(chunk));
+      cv_.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    cv_.notify_all();
+  }
+
+  /// False at end; rethrows worker errors on the consumer thread.
+  bool next(std::vector<trace::TraceRecord>& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !ready_.empty() || done_; });
+    if (ready_.empty()) {
+      if (error_) std::rethrow_exception(error_);
+      return false;
+    }
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    cv_.notify_all();
+    return true;
+  }
+
+  const TraceReader& reader_;
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<trace::TraceRecord>> ready_;
+  std::exception_ptr error_;
+  bool done_ = false;
+  bool stop_ = false;
+};
+
+ChunkCursor::ChunkCursor(const TraceReader& reader, bool prefetch)
+    : reader_(reader) {
+  if (prefetch && reader.chunk_count() > 1) {
+    prefetcher_ = std::make_unique<Prefetcher>(reader);
+  }
+}
+
+ChunkCursor::~ChunkCursor() = default;
+
+bool ChunkCursor::next(std::vector<trace::TraceRecord>& out) {
+  if (prefetcher_) return prefetcher_->next(out);
+  if (next_chunk_ >= reader_.chunk_count()) return false;
+  out.clear();
+  reader_.read_chunk(next_chunk_++, out);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// verify
+
+VerifyReport verify_v2_file(const std::string& path, bool deep) {
+  VerifyReport rep;
+  std::optional<TraceReader> reader;
+  try {
+    reader.emplace(open_file_source(path));
+  } catch (const TraceStoreError& e) {
+    rep.error = e.what();
+    rep.bad_chunk = e.chunk();
+    return rep;
+  }
+  rep.chunks = reader->chunk_count();
+  Fnv1a64 h;
+  const TraceMeta& m = reader->meta();
+  hash_meta(h, m.app, m.capture_network, m.nodes, m.capture_runtime, m.seed);
+  std::vector<trace::TraceRecord> scratch;
+  for (std::size_t i = 0; i < reader->chunk_count(); ++i) {
+    scratch.clear();
+    try {
+      reader->read_chunk(i, scratch);
+    } catch (const TraceStoreError& e) {
+      rep.error = e.what();
+      rep.bad_chunk = e.chunk();
+      return rep;
+    }
+    rep.records += scratch.size();
+    if (deep) {
+      for (const auto& r : scratch) hash_record(h, r);
+    }
+  }
+  if (deep) {
+    rep.hash_checked = true;
+    if (h.value() != reader->stored_content_hash()) {
+      rep.error = "content hash mismatch: stored " +
+                  hash_hex(reader->stored_content_hash()) + ", computed " +
+                  hash_hex(h.value());
+      return rep;
+    }
+  }
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace sctm::tracestore

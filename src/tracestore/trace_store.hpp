@@ -1,0 +1,220 @@
+// The v2 trace container: streaming writer, seeking/streaming reader, and
+// whole-file helpers. See format.hpp for the byte layout and DESIGN.md §8
+// for the rationale and compatibility policy.
+//
+// TraceWriter appends records with bounded memory (one encoded chunk plus
+// the growing 40-byte-per-chunk index), so a capture farm can stream a
+// multi-gigabyte trace to disk without ever materializing it. TraceReader
+// parses the header/index/footer eagerly (validating their checksums) and
+// then serves chunks on demand: whole-trace loads can decode chunks in
+// parallel (common/parallel.hpp — chunks are independent), and ChunkCursor
+// iterates chunk-at-a-time with an optional background prefetch-decode
+// thread so replay ingestion overlaps decode with simulation setup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "tracestore/chunk_codec.hpp"
+#include "tracestore/format.hpp"
+
+namespace sctm::tracestore {
+
+/// Container error with an optional offending chunk index (-1 when the
+/// corruption is in the header, index, or footer).
+class TraceStoreError : public std::runtime_error {
+ public:
+  TraceStoreError(std::string what, std::int64_t chunk = -1)
+      : std::runtime_error(std::move(what)), chunk_(chunk) {}
+  /// Offending chunk, or -1 for header/index/footer damage.
+  std::int64_t chunk() const { return chunk_; }
+
+ private:
+  std::int64_t chunk_;
+};
+
+/// Trace provenance carried by the container header (everything the v1
+/// monolith stored, minus the records).
+struct TraceMeta {
+  std::string app;
+  std::string capture_network;
+  std::int32_t nodes = 0;
+  Cycle capture_runtime = 0;
+  std::uint64_t seed = 0;
+};
+
+/// One chunk as described by the (crc-protected) index.
+struct ChunkInfo {
+  std::uint64_t file_offset = 0;  // of the chunk header (its crc32 field)
+  std::uint32_t payload_len = 0;
+  std::uint32_t record_count = 0;
+  std::uint64_t first_record = 0;
+  Cycle min_cycle = kNoCycle;  // smallest inject_time in the chunk
+  Cycle max_cycle = kNoCycle;  // largest arrive_time in the chunk
+};
+
+// ---------------------------------------------------------------------------
+// Byte sources: random access over a file or a memory span.
+
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual std::uint64_t size() const = 0;
+  /// Reads exactly [off, off+n); throws TraceStoreError on a short read.
+  /// Implementations are safe to call from one thread at a time; FileSource
+  /// additionally serializes internally so parallel chunk decode can share
+  /// one source.
+  virtual void read_at(std::uint64_t off, void* dst, std::size_t n) = 0;
+};
+
+/// Opens `path` for random access (throws TraceStoreError when unreadable).
+std::unique_ptr<ByteSource> open_file_source(const std::string& path);
+
+/// Wraps caller-owned bytes (the caller keeps them alive).
+std::unique_ptr<ByteSource> memory_source(const char* data, std::size_t len);
+
+// ---------------------------------------------------------------------------
+// Writer
+
+class TraceWriter {
+ public:
+  /// Starts a container on `out` (header is written immediately). The
+  /// stream must remain valid until finish().
+  TraceWriter(std::ostream& out, TraceMeta meta,
+              std::uint32_t chunk_records = kDefaultChunkRecords);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const trace::TraceRecord& r);
+
+  /// Flushes the pending chunk and writes the index + footer. Must be
+  /// called exactly once; append() is invalid afterwards.
+  void finish();
+
+  std::uint64_t records_written() const { return records_; }
+  /// Content hash accumulated so far (final once finish() was called).
+  std::uint64_t content_hash() const { return hash_.value(); }
+
+ private:
+  void flush_chunk();
+
+  std::ostream& out_;
+  std::uint32_t chunk_records_;
+  ChunkEncoder encoder_;
+  std::vector<ChunkInfo> chunks_;
+  std::uint64_t offset_ = 0;  // bytes written so far
+  std::uint64_t records_ = 0;
+  std::uint32_t in_chunk_ = 0;
+  Cycle chunk_min_ = kNoCycle;
+  Cycle chunk_max_ = kNoCycle;
+  Fnv1a64 hash_;
+  bool finished_ = false;
+};
+
+/// Serializes a whole in-memory trace as v2.
+void write_v2(const trace::Trace& t, std::ostream& out,
+              std::uint32_t chunk_records = kDefaultChunkRecords);
+void write_v2_file(const trace::Trace& t, const std::string& path,
+                   std::uint32_t chunk_records = kDefaultChunkRecords);
+
+/// Content hash of a trace independent of container format: FNV-1a/64 over
+/// the canonical little-endian field stream (meta, then every record in v1
+/// field order). A v1 file and its v2 conversion hash identically.
+std::uint64_t content_hash(const trace::Trace& t);
+
+// ---------------------------------------------------------------------------
+// Reader
+
+class TraceReader {
+ public:
+  /// Parses and validates header, index, and footer (checksums included);
+  /// throws TraceStoreError on any inconsistency.
+  explicit TraceReader(std::unique_ptr<ByteSource> source);
+
+  static TraceReader open_file(const std::string& path) {
+    return TraceReader(open_file_source(path));
+  }
+
+  const TraceMeta& meta() const { return meta_; }
+  std::uint64_t record_count() const { return record_count_; }
+  std::uint64_t stored_content_hash() const { return content_hash_; }
+  std::uint32_t chunk_target() const { return chunk_target_; }
+  std::uint64_t file_bytes() const { return source_->size(); }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+  const ChunkInfo& chunk_info(std::size_t i) const { return chunks_[i]; }
+
+  /// Reads, CRC-checks, and decodes chunk `i`, *appending* to `out`.
+  /// Throws TraceStoreError carrying `i` on corruption.
+  void read_chunk(std::size_t i, std::vector<trace::TraceRecord>& out) const;
+
+  /// Decodes the whole container into a Trace. With `parallel`, chunks are
+  /// decoded concurrently via parallel_for (deterministic: each chunk lands
+  /// at its indexed position).
+  trace::Trace read_all(bool parallel = true) const;
+
+ private:
+  friend class ChunkCursor;
+  void read_payload(std::size_t i, std::vector<char>& buf) const;
+
+  std::unique_ptr<ByteSource> source_;
+  TraceMeta meta_;
+  std::vector<ChunkInfo> chunks_;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t content_hash_ = 0;
+  std::uint32_t chunk_target_ = 0;
+};
+
+/// Sequential chunk iteration, optionally with a background prefetch-decode
+/// thread (one chunk of lookahead): while the consumer processes chunk i,
+/// the worker reads+decodes chunk i+1. The cursor is the sole user of the
+/// reader while iterating.
+class ChunkCursor {
+ public:
+  ChunkCursor(const TraceReader& reader, bool prefetch);
+  ~ChunkCursor();
+
+  ChunkCursor(const ChunkCursor&) = delete;
+  ChunkCursor& operator=(const ChunkCursor&) = delete;
+
+  /// Swaps the next decoded chunk into `out` (contents replaced). Returns
+  /// false at end. Rethrows any decode error (on the calling thread even
+  /// when prefetching).
+  bool next(std::vector<trace::TraceRecord>& out);
+
+ private:
+  struct Prefetcher;
+  const TraceReader& reader_;
+  std::size_t next_chunk_ = 0;
+  std::unique_ptr<Prefetcher> prefetcher_;
+};
+
+// ---------------------------------------------------------------------------
+// Whole-file helpers
+
+/// True when the first 8 bytes of `data` are the v2 magic.
+bool is_v2_magic(const char* data, std::size_t len);
+
+/// Outcome of an integrity scan.
+struct VerifyReport {
+  bool ok = false;
+  std::string error;        // empty when ok
+  std::int64_t bad_chunk = -1;  // offending chunk, -1 = header/index/footer
+  std::uint64_t records = 0;
+  std::uint64_t chunks = 0;
+  bool hash_checked = false;  // content hash recomputed and compared
+};
+
+/// Full integrity scan of a v2 file: header/index/footer checksums, every
+/// chunk CRC + decode, and (with `deep`) the content hash against the
+/// footer. Never throws on corruption — it reports.
+VerifyReport verify_v2_file(const std::string& path, bool deep = true);
+
+}  // namespace sctm::tracestore

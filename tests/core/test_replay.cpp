@@ -4,6 +4,7 @@
 
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
+#include "trace/dependency_graph.hpp"
 
 namespace sctm::core {
 namespace {

@@ -146,6 +146,94 @@ TEST(TraceIo, TruncatedInputRejected) {
   EXPECT_THROW(read_binary(cut), std::runtime_error);
 }
 
+// Serialized bytes of the golden tiny trace (see GoldenByteLayoutIsStable),
+// for corruption tests that patch specific fields.
+std::string golden_v1_bytes() {
+  Trace t;
+  t.app = "ab";
+  t.capture_network = "m";
+  t.nodes = 2;
+  t.capture_runtime = 100;
+  t.seed = 7;
+  TraceRecord r;
+  r.id = 7;
+  r.src = 0;
+  r.dst = 1;
+  r.size_bytes = 64;
+  r.cls = noc::MsgClass::kData;
+  r.proto = 9;
+  r.inject_time = 10;
+  r.arrive_time = 20;
+  r.deps.push_back({3, 5});
+  t.records.push_back(r);
+  std::stringstream buf;
+  write_binary(t, buf);
+  return buf.str();
+}
+
+TEST(TraceIoStrictness, EveryPossibleTruncationRejected) {
+  // A v1 file cut after ANY byte — i.e. truncation at every field boundary
+  // and inside every field — must throw, never yield a partial Trace.
+  const std::string full = golden_v1_bytes();
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW(read_binary(cut), std::runtime_error)
+        << "accepted a " << keep << "-byte prefix of a "
+        << full.size() << "-byte file";
+  }
+}
+
+TEST(TraceIoStrictness, TrailingGarbageRejected) {
+  std::stringstream buf(golden_v1_bytes() + std::string("\x01", 1));
+  EXPECT_THROW(read_binary(buf), std::runtime_error);
+}
+
+TEST(TraceIoStrictness, AbsurdRecordCountRejectedBeforeAllocating) {
+  // Patch the u64 record count (offset 39: magic 8 + app 6 + net 5 + nodes 4
+  // + runtime 8 + seed 8) to a value no remaining bytes could ever hold.
+  std::string bytes = golden_v1_bytes();
+  for (int i = 0; i < 8; ++i) bytes[39 + i] = static_cast<char>(0xFF);
+  std::stringstream in(bytes);
+  EXPECT_THROW(read_binary(in), std::runtime_error);
+}
+
+TEST(TraceIoStrictness, AbsurdStringLengthRejected) {
+  std::string bytes = golden_v1_bytes();
+  for (int i = 0; i < 4; ++i) bytes[8 + i] = static_cast<char>(0xFF);
+  std::stringstream in(bytes);
+  EXPECT_THROW(read_binary(in), std::runtime_error);
+}
+
+TEST(TraceIoStrictness, InvalidMessageClassRejected) {
+  // The record's cls byte sits at offset 67 (47-byte header + id/src/dst/
+  // size = 20 bytes into the record).
+  std::string bytes = golden_v1_bytes();
+  bytes[67] = 7;  // >= kMsgClassCount
+  std::stringstream in(bytes);
+  EXPECT_THROW(read_binary(in), std::runtime_error);
+}
+
+TEST(TraceIoStrictness, AbsurdDependencyCountRejected) {
+  // u16 dep count at offset 85 (record header 22 + inject 8 + arrive 8).
+  std::string bytes = golden_v1_bytes();
+  bytes[85] = static_cast<char>(0xFF);
+  bytes[86] = static_cast<char>(0xFF);
+  std::stringstream in(bytes);
+  EXPECT_THROW(read_binary(in), std::runtime_error);
+}
+
+TEST(TraceIoStrictness, ErrorsNameTheByteOffset) {
+  const std::string full = golden_v1_bytes();
+  std::stringstream cut(full.substr(0, full.size() - 3));
+  try {
+    read_binary(cut);
+    FAIL() << "truncated input accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+        << "error message should carry the byte offset: " << e.what();
+  }
+}
+
 TEST(TraceIo, TextDumpMentionsEveryRecord) {
   Trace t;
   t.app = "demo";
@@ -161,6 +249,23 @@ TEST(TraceIo, TextDumpMentionsEveryRecord) {
   const auto text = to_text(t);
   EXPECT_NE(text.find("demo"), std::string::npos);
   EXPECT_NE(text.find("0->1"), std::string::npos);
+}
+
+TEST(TraceIo, TextDumpPrintsNoCycleSymbolically) {
+  // An unset timestamp must never leak as the raw u64 sentinel.
+  Trace t;
+  t.app = "demo";
+  t.nodes = 2;
+  TraceRecord r;
+  r.id = 1;
+  r.src = 0;
+  r.dst = 1;
+  r.inject_time = 10;
+  r.arrive_time = kNoCycle;  // in-flight / never delivered
+  t.records.push_back(r);
+  const auto text = to_text(t);
+  EXPECT_NE(text.find("t=10..none"), std::string::npos) << text;
+  EXPECT_EQ(text.find(std::to_string(kNoCycle)), std::string::npos) << text;
 }
 
 TEST(DependencyGraphTest, RejectsUnknownParent) {
