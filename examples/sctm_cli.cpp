@@ -4,6 +4,8 @@
 //                     [--lines 16] [--iters 2] [--mesh 4x4] [--format v1|v2]
 //   sctm_cli replay   --trace /tmp/t.trc2 --net onoc-token [--mode sctm]
 //                     [--window W] [--iters-max 8] [--csv out.csv]
+//   sctm_cli explore  --trace /tmp/t.trc2 --candidates cands.cfg
+//                     [--threads N] [--mode sctm] [--window W] [--csv out.csv]
 //   sctm_cli inspect  --trace /tmp/t.trc2 [--text]
 //   sctm_cli exec     --app fft --net onoc-setup [...]   (execution-driven)
 //   sctm_cli validate --json metrics.json     (schema-check a metrics doc)
@@ -32,11 +34,14 @@
 #include <sstream>
 #include <string>
 
+#include "common/config.hpp"
 #include "common/json.hpp"
 #include "common/run_metrics.hpp"
 #include "common/table.hpp"
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
+#include "core/experiment.hpp"
+#include "core/explore.hpp"
 #include "trace/dependency_graph.hpp"
 #include "trace/trace_io.hpp"
 #include "tracestore/catalog.hpp"
@@ -56,6 +61,9 @@ using namespace sctm;
       "[--format v1|v2]\n"
       "  sctm_cli replay  --trace <file> --net <kind> [--mode naive|sctm] "
       "[--window W] [--iters-max N] [--csv <file>] [--mesh WxH]\n"
+      "  sctm_cli explore --trace <file> --candidates <config> "
+      "[--threads N] [--mode naive|sctm] [--window W] [--iters-max N] "
+      "[--csv <file>]\n"
       "  sctm_cli inspect --trace <file> [--text]\n"
       "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
       "[--iters N] [--mesh WxH] [--stats <file>]\n"
@@ -196,6 +204,30 @@ int cmd_capture(const std::map<std::string, std::string>& f) {
   return 0;
 }
 
+const std::string& require_flag(const std::map<std::string, std::string>& f,
+                                const char* key) {
+  const auto it = f.find(key);
+  if (it == f.end()) usage(("--" + std::string(key) + " required").c_str());
+  return it->second;
+}
+
+/// Replay engine knobs shared by `replay` and `explore`.
+core::ReplayConfig replay_cfg_from(const std::map<std::string, std::string>& f) {
+  core::ReplayConfig cfg;
+  if (const auto m = f.find("mode"); m != f.end()) {
+    if (m->second == "naive") cfg.mode = core::ReplayMode::kNaive;
+    else if (m->second == "sctm") cfg.mode = core::ReplayMode::kSelfCorrecting;
+    else usage("--mode must be naive or sctm");
+  }
+  if (const auto w = f.find("window"); w != f.end()) {
+    cfg.dependency_window = static_cast<std::uint32_t>(std::stoul(w->second));
+  }
+  if (const auto it = f.find("iters-max"); it != f.end()) {
+    cfg.max_iterations = std::stoi(it->second);
+  }
+  return cfg;
+}
+
 int cmd_replay(const std::map<std::string, std::string>& f) {
   const auto tr = f.find("trace");
   if (tr == f.end()) usage("--trace required");
@@ -210,18 +242,7 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
     spec.topo = noc::Topology::mesh(8, 8);
   }
 
-  core::ReplayConfig cfg;
-  if (const auto m = f.find("mode"); m != f.end()) {
-    if (m->second == "naive") cfg.mode = core::ReplayMode::kNaive;
-    else if (m->second == "sctm") cfg.mode = core::ReplayMode::kSelfCorrecting;
-    else usage("--mode must be naive or sctm");
-  }
-  if (const auto w = f.find("window"); w != f.end()) {
-    cfg.dependency_window = static_cast<std::uint32_t>(std::stoul(w->second));
-  }
-  if (const auto it = f.find("iters-max"); it != f.end()) {
-    cfg.max_iterations = std::stoi(it->second);
-  }
+  const core::ReplayConfig cfg = replay_cfg_from(f);
 
   const auto rep = core::run_replay(loaded, spec, cfg);
   const auto h = rep.result.latency_histogram();
@@ -250,6 +271,105 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
   maybe_emit_stats_json(
       f, core::metrics_for_replay(loaded, spec, cfg, rep, "sctm_cli replay",
                                   now_iso8601()));
+  return 0;
+}
+
+/// Parses a candidates config into named NetSpecs. Each candidate is a
+/// namespace of "candidate.<name>.<param>" keys; the per-candidate params
+/// use the experiment-config vocabulary (net.kind, net.mesh_width/height,
+/// enoc.*, onoc.*, hybrid.*), e.g.:
+///
+///   candidate.baseline.net.kind  = enoc
+///   candidate.wide.net.kind      = onoc-token
+///   candidate.wide.onoc.wavelengths = 64
+std::vector<core::Candidate> candidates_from(const Config& cfg) {
+  std::map<std::string, Config> subs;  // name -> per-candidate config
+  for (const auto& key : cfg.keys()) {
+    constexpr std::string_view kPrefix = "candidate.";
+    if (key.rfind(kPrefix, 0) != 0) continue;
+    const std::string rest = key.substr(kPrefix.size());
+    const auto dot = rest.find('.');
+    if (dot == std::string::npos || dot == 0) {
+      usage(("candidates file: expected candidate.<name>.<param>, got " + key)
+                .c_str());
+    }
+    subs[rest.substr(0, dot)].set(rest.substr(dot + 1), cfg.get_string(key));
+  }
+  if (subs.empty()) usage("candidates file has no candidate.<name>.* keys");
+  std::vector<core::Candidate> out;
+  out.reserve(subs.size());
+  for (auto& [name, sub] : subs) {
+    out.push_back({name, core::netspec_from_config(sub, "net")});
+  }
+  return out;
+}
+
+int cmd_explore(const std::map<std::string, std::string>& f) {
+  const auto& tr = require_flag(f, "trace");
+  const auto& cand_path = require_flag(f, "candidates");
+  const auto trace = trace::read_binary_file(tr);
+  const auto candidates = candidates_from(Config::from_file(cand_path));
+  const core::ReplayConfig cfg = replay_cfg_from(f);
+  unsigned threads = 0;
+  if (const auto it = f.find("threads"); it != f.end()) {
+    threads = static_cast<unsigned>(std::stoul(it->second));
+  }
+
+  const auto results = core::explore(trace, candidates, cfg, threads);
+
+  Table t("explore");
+  t.set_header({"rank", "candidate", "runtime", "latency_mean", "latency_p99",
+                "iterations", "wall_s"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({Table::fmt(static_cast<std::uint64_t>(i + 1)), r.name,
+               Table::fmt(std::uint64_t{r.runtime}), Table::fmt(r.mean_latency, 1),
+               Table::fmt(std::uint64_t{r.p99_latency}),
+               Table::fmt(static_cast<std::int64_t>(r.iterations)),
+               Table::fmt(r.wall_seconds, 4)});
+  }
+  std::fputs(t.to_ascii().c_str(), stdout);
+  std::printf("explored %zu candidate(s) over %zu records (%s), best: %s\n",
+              results.size(), trace.records.size(), core::to_string(cfg.mode),
+              results.empty() ? "-" : results.front().name.c_str());
+  if (const auto csv = f.find("csv"); csv != f.end()) {
+    t.write_csv(csv->second);
+    std::printf("results csv -> %s\n", csv->second.c_str());
+  }
+
+  if (f.count("stats-json")) {
+    RunMetrics m;
+    m.manifest.tool = "sctm_cli explore";
+    m.manifest.created = now_iso8601();
+    m.manifest.set("trace", core::trace_id(trace));
+    m.manifest.set("candidates", static_cast<std::int64_t>(candidates.size()));
+    m.manifest.set("mode", core::to_string(cfg.mode));
+    m.manifest.set("threads", static_cast<std::int64_t>(threads));
+    JsonWriter results_json;
+    results_json.begin_object();
+    results_json.key("ranking");
+    results_json.begin_array();
+    for (const auto& r : results) {
+      results_json.begin_object();
+      results_json.key("name");
+      results_json.value(r.name);
+      results_json.key("runtime_cycles");
+      results_json.value(std::uint64_t{r.runtime});
+      results_json.key("latency_mean");
+      results_json.value(r.mean_latency);
+      results_json.key("latency_p99");
+      results_json.value(std::uint64_t{r.p99_latency});
+      results_json.key("iterations");
+      results_json.value(static_cast<std::int64_t>(r.iterations));
+      results_json.key("wall_seconds");
+      results_json.value(r.wall_seconds);
+      results_json.end_object();
+    }
+    results_json.end_array();
+    results_json.end_object();
+    m.set_results_json(std::move(results_json).str());
+    maybe_emit_stats_json(f, m);
+  }
   return 0;
 }
 
@@ -349,13 +469,6 @@ int cmd_validate(const std::map<std::string, std::string>& f) {
   std::printf("%s: valid %s document\n", it->second.c_str(),
               std::string(kMetricsSchema).c_str());
   return 0;
-}
-
-const std::string& require_flag(const std::map<std::string, std::string>& f,
-                                const char* key) {
-  const auto it = f.find(key);
-  if (it == f.end()) usage(("--" + std::string(key) + " required").c_str());
-  return it->second;
 }
 
 int cmd_trace_info(const std::map<std::string, std::string>& f) {
@@ -517,6 +630,7 @@ int main(int argc, char** argv) {
     const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "capture") return cmd_capture(flags);
     if (cmd == "replay") return cmd_replay(flags);
+    if (cmd == "explore") return cmd_explore(flags);
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "exec") return cmd_exec(flags);
     if (cmd == "validate") return cmd_validate(flags);

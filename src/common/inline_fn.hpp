@@ -1,19 +1,26 @@
-// InlineFn: a move-only callable with small-buffer optimization, built for
-// the event kernel's hot path.
+// BasicInlineFn: a move-only callable with small-buffer optimization, built
+// for the simulator's hot paths.
 //
 // std::function heap-allocates any capture larger than (typically) two
-// pointers, which put one malloc/free pair on every scheduled event. InlineFn
-// instead embeds up to kInlineCapacity bytes of capture state directly in the
-// object — sized so the simulator's hottest closures ([this, noc::Message] and
+// pointers, which put one malloc/free pair on every scheduled event (and on
+// every delivery-callback installation). BasicInlineFn instead embeds up to
+// kInlineCapacity bytes of capture state directly in the object — sized so
+// the simulator's hottest closures ([this, noc::Message] and
 // [this, NodeId, int, enoc::Flit], both 56 bytes) fit exactly and the whole
 // callable occupies a single 64-byte cache line. Oversized or over-aligned
 // captures fall back to one heap allocation; the fallback is counted so tests
 // can assert the common path never allocates (see heap_fallbacks()).
 //
+// The template is parameterized on the call signature: the event kernel uses
+// InlineFn (= BasicInlineFn<void()>), the per-message delivery path uses
+// BasicInlineFn<void(const noc::Message&)> (noc::Network::DeliverFn). All
+// instantiations share one process-wide heap-fallback counter.
+//
 // Differences from std::function, on purpose:
 //  * move-only (no copy; the queue never copies events, and requiring
 //    copyability forces vector captures to deep-copy),
-//  * invoking an empty InlineFn is undefined (the queue never stores one),
+//  * invoking an empty BasicInlineFn is undefined (the queue never stores
+//    one),
 //  * no target()/target_type() RTTI machinery.
 #pragma once
 
@@ -28,19 +35,33 @@
 
 namespace sctm {
 
-class InlineFn {
+namespace detail {
+
+/// One process-wide fallback counter shared by every BasicInlineFn
+/// instantiation, so alloc-counting tests see a single number.
+struct InlineFnFallbacks {
+  inline static std::atomic<std::uint64_t> count{0};
+};
+
+}  // namespace detail
+
+template <typename Sig>
+class BasicInlineFn;
+
+template <typename R, typename... Args>
+class BasicInlineFn<R(Args...)> {
  public:
   /// Inline capture budget. 56 bytes + the 8-byte ops pointer = 64 bytes.
   static constexpr std::size_t kInlineCapacity = 56;
   static constexpr std::size_t kInlineAlign = 8;
 
-  InlineFn() noexcept = default;
+  BasicInlineFn() noexcept = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for EventFn
+                !std::is_same_v<std::decay_t<F>, BasicInlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  BasicInlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for EventFn
     using Fn = std::decay_t<F>;
     if constexpr (fits_inline<Fn>()) {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
@@ -49,18 +70,18 @@ class InlineFn {
       Fn* p = new Fn(std::forward<F>(f));
       std::memcpy(buf_, &p, sizeof(p));
       ops_ = &ops_for<Fn, /*kHeap=*/true>;
-      heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      detail::InlineFnFallbacks::count.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+  BasicInlineFn(BasicInlineFn&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(buf_, other.buf_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineFn& operator=(InlineFn&& other) noexcept {
+  BasicInlineFn& operator=(BasicInlineFn&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -72,14 +93,14 @@ class InlineFn {
     return *this;
   }
 
-  InlineFn(const InlineFn&) = delete;
-  InlineFn& operator=(const InlineFn&) = delete;
+  BasicInlineFn(const BasicInlineFn&) = delete;
+  BasicInlineFn& operator=(const BasicInlineFn&) = delete;
 
-  ~InlineFn() { reset(); }
+  ~BasicInlineFn() { reset(); }
 
-  void operator()() {
-    assert(ops_ != nullptr && "invoking an empty InlineFn");
-    ops_->invoke(buf_);
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty BasicInlineFn");
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
   }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
@@ -99,15 +120,16 @@ class InlineFn {
            std::is_nothrow_move_constructible_v<Fn>;
   }
 
-  /// Allocation-counting test hook: total heap fallbacks taken process-wide.
-  /// Steady-state kernel tests assert the delta across a run is zero.
+  /// Allocation-counting test hook: total heap fallbacks taken process-wide
+  /// (shared across all signatures). Steady-state kernel tests assert the
+  /// delta across a run is zero.
   static std::uint64_t heap_fallbacks() noexcept {
-    return heap_fallbacks_.load(std::memory_order_relaxed);
+    return detail::InlineFnFallbacks::count.load(std::memory_order_relaxed);
   }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     void (*relocate)(void* dst, void* src) noexcept;  // move into dst, end src
     void (*destroy)(void*) noexcept;
   };
@@ -126,7 +148,9 @@ class InlineFn {
   template <typename Fn, bool kHeap>
   static constexpr Ops ops_for = {
       // invoke
-      [](void* s) { (*target<Fn, kHeap>(s))(); },
+      [](void* s, Args&&... args) -> R {
+        return (*target<Fn, kHeap>(s))(std::forward<Args>(args)...);
+      },
       // relocate
       [](void* d, void* s) noexcept {
         if constexpr (kHeap || std::is_trivially_copyable_v<Fn>) {
@@ -147,11 +171,12 @@ class InlineFn {
       },
   };
 
-  inline static std::atomic<std::uint64_t> heap_fallbacks_{0};
-
   const Ops* ops_ = nullptr;
   alignas(kInlineAlign) unsigned char buf_[kInlineCapacity];
 };
+
+/// The event kernel's callable type (see sim/event_queue.hpp).
+using InlineFn = BasicInlineFn<void()>;
 
 static_assert(sizeof(InlineFn) == 64, "InlineFn should be one cache line");
 

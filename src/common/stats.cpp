@@ -141,4 +141,9 @@ void StatRegistry::reset() {
   accumulators_.clear();
 }
 
+void StatRegistry::zero() {
+  for (auto& [k, v] : counters_) v = 0;
+  for (auto& [k, a] : accumulators_) a.reset();
+}
+
 }  // namespace sctm

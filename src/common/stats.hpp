@@ -81,7 +81,16 @@ class StatRegistry {
   void write_counters_json(JsonWriter& w) const;
   void write_accumulators_json(JsonWriter& w) const;
 
+  /// Erases every entry. Only safe when no component still holds a reference
+  /// returned by counter()/accumulator() — i.e. when the components are being
+  /// rebuilt too. For in-place reuse, use zero().
   void reset();
+
+  /// Zeroes every registered value in place, keeping the entries (and thus
+  /// every reference handed out by counter()/accumulator()) valid. This is
+  /// the session-reset path: components cache stat references at
+  /// construction, so a reused simulator must not erase the map nodes.
+  void zero();
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;

@@ -34,6 +34,12 @@ struct NetSpec {
   onoc::HybridParams hybrid{};
 
   std::string describe() const;
+
+  /// Memberwise equality across kind, topology and every parameter block.
+  /// Exploration keys session reuse on this: equal specs may share one
+  /// constructed network across resets, unequal specs force a rebuild
+  /// (parameters are baked into components at construction).
+  bool operator==(const NetSpec&) const = default;
 };
 
 /// Factory suitable for replay(); also used internally for execution runs.

@@ -1,29 +1,104 @@
 #include "core/explore.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "common/parallel.hpp"
+#include "core/replay_session.hpp"
 
 namespace sctm::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One worker: drains candidates off the shared counter with a single
+/// long-lived ReplaySession. Candidates whose NetSpec equals the currently
+/// bound one reuse the constructed network through the reset protocol;
+/// a differing spec rebuilds the network (rebind) but keeps the session's
+/// trace binding, dependency CSR and pass buffers.
+void evaluate_candidates(const ReplayTrace& rt,
+                         const std::vector<Candidate>& candidates,
+                         const ReplayConfig& config,
+                         std::atomic<std::size_t>& next,
+                         std::vector<ExploreResult>& out) {
+  std::optional<ReplaySession> session;
+  const NetSpec* bound = nullptr;
+  for (;;) {
+    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= candidates.size()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    const NetSpec& spec = candidates[i].spec;
+    if (!session) {
+      session.emplace(rt, make_factory(spec), config);
+    } else if (!(*bound == spec)) {
+      session->rebind(make_factory(spec));
+    }
+    bound = &spec;
+    const ReplayResult& res = session->run();
+    const Histogram h = res.latency_histogram();
+    out[i] = ExploreResult{candidates[i].name,     res.runtime,
+                           h.mean(),               h.percentile(0.99),
+                           res.iterations,         seconds_since(t0)};
+  }
+}
+
+}  // namespace
 
 std::vector<ExploreResult> explore(const trace::Trace& trace,
                                    const std::vector<Candidate>& candidates,
                                    const ReplayConfig& config,
                                    unsigned threads) {
   std::vector<ExploreResult> out(candidates.size());
-  parallel_for(
-      candidates.size(),
-      [&](std::size_t i) {
-        const auto rep = run_replay(trace, candidates[i].spec, config);
-        const auto h = rep.result.latency_histogram();
-        out[i] = ExploreResult{candidates[i].name,
-                               rep.result.runtime,
-                               h.mean(),
-                               h.percentile(0.99),
-                               rep.result.iterations,
-                               rep.wall_seconds};
-      },
-      threads);
+  if (candidates.empty()) return out;
+
+  // Ingest (and validate) the trace once; every worker replays the same
+  // read-only ReplayTrace.
+  const ReplayTrace rt(trace);
+  if (rt.empty()) {
+    // Mirror replay()'s empty-trace contract: no network is ever built.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i].name = candidates[i].name;
+    }
+  } else {
+    unsigned n = threads == 0 ? default_parallelism() : threads;
+    n = static_cast<unsigned>(
+        std::min<std::size_t>(n, candidates.size()));
+    std::atomic<std::size_t> next{0};
+    if (n <= 1) {
+      evaluate_candidates(rt, candidates, config, next, out);
+    } else {
+      // Hand-rolled pool (parallel_for has no per-worker state): each worker
+      // owns one session; the first exception wins and is rethrown after
+      // every worker has joined.
+      std::mutex err_mu;
+      std::exception_ptr first_error;
+      auto worker = [&] {
+        try {
+          evaluate_candidates(rt, candidates, config, next, out);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          // Let the counter drain so sibling workers exit promptly.
+          next.store(candidates.size(), std::memory_order_relaxed);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(n);
+      for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
+      if (first_error) std::rethrow_exception(first_error);
+    }
+  }
+
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.runtime != b.runtime) return a.runtime < b.runtime;
     return a.name < b.name;

@@ -1,9 +1,9 @@
 #include "core/replay.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <functional>
 #include <stdexcept>
+
+#include "core/replay_session.hpp"
 
 namespace sctm::core {
 
@@ -61,135 +61,20 @@ KeptDepsCsr build_kept_deps(const ReplayTrace& rt,
   return csr;
 }
 
-namespace {
-
-struct PassState {
-  std::vector<std::uint32_t> pending;
-  std::vector<Cycle> ready;  // max(arrival' + slack) over resolved kept deps
-};
-
-}  // namespace
+// Both engines are thin wrappers over a throwaway ReplaySession — the
+// session owns the simulator, the network and every pass buffer, and is the
+// single implementation of the pass loop (see core/replay_session.hpp).
+// Long-lived callers (iterative sweeps, exploration) construct a session
+// directly and reuse it across passes and candidates.
 
 ReplayResult replay_once(const ReplayTrace& rt, const NetworkFactory& factory,
                          const ReplayConfig& config,
                          const std::vector<Cycle>* baseline,
                          const KeptDepsCsr* kept) {
-  const auto pass_t0 = std::chrono::steady_clock::now();
-  if (!rt.finalized()) {
-    throw std::logic_error("replay: ReplayTrace not finalized");
-  }
-  const std::uint32_t n = rt.size();
-  const bool naive = (config.mode == ReplayMode::kNaive);
-
-  KeptDepsCsr local_csr;
-  if (kept == nullptr) {
-    local_csr = build_kept_deps(rt, config);
-    kept = &local_csr;
-  }
-
-  Simulator sim;
-  auto net = factory(sim);
-  if (!net) throw std::logic_error("replay: factory returned null network");
-  if (net->node_count() != rt.nodes()) {
-    throw std::invalid_argument("replay: network size != trace nodes");
-  }
-
-  ReplayResult out;
-  out.inject_time.assign(n, kNoCycle);
-  out.arrive_time.assign(n, kNoCycle);
-
-  PassState st;
-  st.pending.assign(n, 0);
-  st.ready.assign(n, 0);
-
-  // Lower bound per record when its kept-dependency set is empty (anchors
-  // and fully-truncated records). With kept deps, the dependency max alone
-  // defines the injection time (capture equality: inject == arrival+slack).
-  std::vector<Cycle> bound(n, 0);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    st.pending[i] = kept->count(i);
-    if (baseline) {
-      bound[i] = (*baseline)[i];
-    } else {
-      // First pass: anchor dependency-less schedules at the captured times.
-      bound[i] = st.pending[i] == 0 ? rt.inject_time(i) : 0;
-    }
-  }
-
-  auto inject_record = [&](std::uint32_t idx) {
-    noc::Message m;
-    m.id = rt.id(idx);
-    m.src = rt.src(idx);
-    m.dst = rt.dst(idx);
-    m.size_bytes = rt.size_bytes(idx);
-    m.cls = rt.cls(idx);
-    m.tag = idx;
-    out.inject_time[idx] = sim.now();
-    net->inject(m);
-  };
-
-  // Same-cycle injections must enter the network in capture order (record
-  // ids increase with capture event order), or arbitration ties resolve
-  // differently and the fixed-point property breaks. Eligible records are
-  // therefore batched per cycle and flushed sorted; the flush event is
-  // created when a cycle first gains a record, and network deliveries at a
-  // cycle always precede it (link latencies are >= 1, so all deliveries for
-  // cycle t were enqueued before t began).
-  EligibilityBatcher eligible;
-  auto mark_eligible = [&](std::uint32_t idx, Cycle t) {
-    if (eligible.add(t, idx)) {
-      auto flush = [&eligible, &inject_record, t] {
-        eligible.flush(t, inject_record);
-      };
-      static_assert(InlineFn::fits_inline<decltype(flush)>());
-      sim.schedule_late(t, std::move(flush));
-    }
-  };
-
-  net->set_deliver_callback([&](const noc::Message& msg) {
-    const auto idx = static_cast<std::uint32_t>(msg.tag);
-    out.arrive_time[idx] = msg.arrive_time;
-    if (naive) return;
-    const MsgId pid = rt.id(idx);
-    for (const std::uint32_t* cp = rt.children_begin(idx);
-         cp != rt.children_end(idx); ++cp) {
-      const std::uint32_t c = *cp;
-      // Is this parent one of c's enforced deps? (kept sets are tiny)
-      for (auto it = kept->begin(c); it != kept->end(c); ++it) {
-        const auto& d = *it;
-        if (d.parent != pid) continue;
-        st.ready[c] = std::max(st.ready[c], msg.arrive_time + d.slack);
-        if (--st.pending[c] == 0) {
-          const Cycle t = std::max({st.ready[c], bound[c], sim.now()});
-          mark_eligible(c, t);
-        }
-        break;
-      }
-    }
-  });
-
-  // Seed: everything without pending kept deps starts at its bound.
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (st.pending[i] == 0) mark_eligible(i, bound[i]);
-  }
-
-  sim.run();
-
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (out.arrive_time[i] == kNoCycle) {
-      throw std::logic_error(
-          "replay: record never delivered (dependency cycle or lost "
-          "message), id=" + std::to_string(rt.id(i)));
-    }
-  }
-  out.runtime = *std::max_element(out.arrive_time.begin(),
-                                  out.arrive_time.end());
-  out.events = sim.events_executed();
-  out.stats = sim.stats();
-  const auto pass_dt = std::chrono::steady_clock::now() - pass_t0;
-  out.iteration_log.push_back(
-      {1, 0.0, out.events, std::chrono::duration<double>(pass_dt).count()});
-  return out;
+  ReplaySession session(rt, factory, config, kept);
+  session.run_pass(baseline);
+  session.snapshot_stats();
+  return session.take_result();
 }
 
 ReplayResult replay(const ReplayTrace& rt, const NetworkFactory& factory,
@@ -198,74 +83,13 @@ ReplayResult replay(const ReplayTrace& rt, const NetworkFactory& factory,
     throw std::logic_error("replay: ReplayTrace not finalized");
   }
   if (rt.empty()) {
+    // The factory is never called for an empty trace.
     ReplayResult empty;
     return empty;
   }
-
-  const std::uint32_t n = rt.size();
-  std::uint32_t max_deps = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    max_deps = std::max(max_deps, rt.dep_count(i));
-  }
-  const bool single_pass = (config.mode == ReplayMode::kNaive) ||
-                           (config.dependency_window >= max_deps);
-
-  // The enforced-dependency CSR depends only on (trace, config): build it
-  // once and share it across every iterative pass.
-  const KeptDepsCsr csr = build_kept_deps(rt, config);
-
-  ReplayResult result = replay_once(rt, factory, config, nullptr, &csr);
-  if (single_pass) return result;
-
-  // Iterative self-correction for truncated windows: re-derive each
-  // record's lower bound from its *full* dependency list evaluated against
-  // the previous pass's arrival times, then replay again, until injection
-  // times stop moving.
-  std::uint64_t total_events = result.events;
-  std::vector<ReplayResult::IterationRecord> log =
-      std::move(result.iteration_log);
-  for (int iter = 2; iter <= config.max_iterations; ++iter) {
-    std::vector<Cycle> bound(n, 0);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const std::uint32_t dc = rt.dep_count(i);
-      if (dc == 0) {
-        bound[i] = rt.inject_time(i);  // anchors never move
-        continue;
-      }
-      Cycle b = 0;
-      const trace::TraceDep* deps = rt.deps_begin(i);
-      for (std::uint32_t k = 0; k < dc; ++k) {
-        // Parents were resolved to record indices at finalize() — no id
-        // lookup in the iteration hot loop.
-        const std::uint32_t p = rt.dep_parent_index(i, k);
-        b = std::max(b, result.arrive_time[p] + deps[k].slack);
-      }
-      bound[i] = b;
-    }
-    ReplayResult next = replay_once(rt, factory, config, &bound, &csr);
-    total_events += next.events;
-
-    double shift = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const auto a = next.inject_time[i];
-      const auto b = result.inject_time[i];
-      shift += static_cast<double>(a > b ? a - b : b - a);
-    }
-    shift /= static_cast<double>(n);
-
-    ReplayResult::IterationRecord rec = next.iteration_log.front();
-    rec.iter = iter;
-    rec.residual = shift;
-    log.push_back(rec);
-
-    result = std::move(next);
-    result.iterations = iter;
-    result.residual = shift;
-    if (shift < config.convergence_threshold) break;
-  }
-  result.events = total_events;
-  result.iteration_log = std::move(log);
-  return result;
+  ReplaySession session(rt, factory, config);
+  session.run();
+  return session.take_result();
 }
 
 ReplayResult replay(const trace::Trace& trace, const NetworkFactory& factory,

@@ -1,0 +1,244 @@
+#include "core/replay_session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace sctm::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ReplaySession::ReplaySession(const ReplayTrace& rt,
+                             const NetworkFactory& factory,
+                             const ReplayConfig& config,
+                             const KeptDepsCsr* kept)
+    : rt_(rt),
+      config_(config),
+      naive_(config.mode == ReplayMode::kNaive) {
+  if (!rt_.finalized()) {
+    throw std::logic_error("replay: ReplayTrace not finalized");
+  }
+  if (kept != nullptr) {
+    kept_ = kept;
+  } else {
+    own_csr_ = build_kept_deps(rt_, config_);
+    kept_ = &own_csr_;
+  }
+  const std::uint32_t n = rt_.size();
+  pending_.assign(n, 0);
+  ready_.assign(n, 0);
+  bound_.assign(n, 0);
+  prev_inject_.assign(n, 0);
+  result_.inject_time.reserve(n);
+  result_.arrive_time.reserve(n);
+  bind_network(factory);
+}
+
+void ReplaySession::bind_network(const NetworkFactory& factory) {
+  net_ = factory(sim_);
+  if (!net_) throw std::logic_error("replay: factory returned null network");
+  if (net_->node_count() != rt_.nodes()) {
+    throw std::invalid_argument("replay: network size != trace nodes");
+  }
+  auto cb = [this](const noc::Message& msg) { on_deliver(msg); };
+  static_assert(noc::Network::DeliverFn::fits_inline<decltype(cb)>(),
+                "delivery callback must stay within the SBO budget");
+  net_->set_deliver_callback(std::move(cb));
+}
+
+void ReplaySession::rebind(const NetworkFactory& factory) {
+  // Destroy the old network before erasing the stat entries its components
+  // hold references into, then rewind the kernel for the fresh build.
+  net_.reset();
+  sim_.stats().reset();
+  sim_.reset();
+  bind_network(factory);
+}
+
+void ReplaySession::inject_record(std::uint32_t idx) {
+  noc::Message m;
+  m.id = rt_.id(idx);
+  m.src = rt_.src(idx);
+  m.dst = rt_.dst(idx);
+  m.size_bytes = rt_.size_bytes(idx);
+  m.cls = rt_.cls(idx);
+  m.tag = idx;
+  result_.inject_time[idx] = sim_.now();
+  net_->inject(m);
+}
+
+// Same-cycle injections must enter the network in capture order (record ids
+// increase with capture event order), or arbitration ties resolve
+// differently and the fixed-point property breaks. Eligible records are
+// therefore batched per cycle and flushed sorted; the flush event is created
+// when a cycle first gains a record, and network deliveries at a cycle
+// always precede it (link latencies are >= 1, so all deliveries for cycle t
+// were enqueued before t began).
+void ReplaySession::mark_eligible(std::uint32_t idx, Cycle t) {
+  if (eligible_.add(t, idx)) {
+    auto flush = [this, t] {
+      eligible_.flush(t, [this](std::uint32_t i) { inject_record(i); });
+    };
+    static_assert(InlineFn::fits_inline<decltype(flush)>());
+    sim_.schedule_late(t, std::move(flush));
+  }
+}
+
+void ReplaySession::on_deliver(const noc::Message& msg) {
+  const auto idx = static_cast<std::uint32_t>(msg.tag);
+  result_.arrive_time[idx] = msg.arrive_time;
+  if (naive_) return;
+  const MsgId pid = rt_.id(idx);
+  for (const std::uint32_t* cp = rt_.children_begin(idx);
+       cp != rt_.children_end(idx); ++cp) {
+    const std::uint32_t c = *cp;
+    // Is this parent one of c's enforced deps? (kept sets are tiny)
+    for (auto it = kept_->begin(c); it != kept_->end(c); ++it) {
+      const auto& d = *it;
+      if (d.parent != pid) continue;
+      ready_[c] = std::max(ready_[c], msg.arrive_time + d.slack);
+      if (--pending_[c] == 0) {
+        const Cycle t = std::max({ready_[c], bound_[c], sim_.now()});
+        mark_eligible(c, t);
+      }
+      break;
+    }
+  }
+}
+
+void ReplaySession::run_pass_prepared() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t n = rt_.size();
+
+  // The whole point: reset, don't rebuild. Both calls retain capacity, so
+  // after a warmup pass this entire function is allocation-free.
+  sim_.reset();
+  net_->reset();
+
+  result_.inject_time.assign(n, kNoCycle);
+  result_.arrive_time.assign(n, kNoCycle);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pending_[i] = kept_->count(i);
+    ready_[i] = 0;
+  }
+
+  // Seed: everything without pending kept deps starts at its bound.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (pending_[i] == 0) mark_eligible(i, bound_[i]);
+  }
+
+  sim_.run();
+  eligible_.equalize();  // next pass batches allocation-free in any slot
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (result_.arrive_time[i] == kNoCycle) {
+      throw std::logic_error(
+          "replay: record never delivered (dependency cycle or lost "
+          "message), id=" + std::to_string(rt_.id(i)));
+    }
+  }
+  result_.runtime =
+      n == 0 ? 0
+             : *std::max_element(result_.arrive_time.begin(),
+                                 result_.arrive_time.end());
+  result_.events = sim_.events_executed();
+  pass_wall_ = seconds_since(t0);
+}
+
+const ReplayResult& ReplaySession::run_pass(const std::vector<Cycle>* baseline) {
+  const std::uint32_t n = rt_.size();
+  if (baseline != nullptr) {
+    for (std::uint32_t i = 0; i < n; ++i) bound_[i] = (*baseline)[i];
+  } else {
+    // First pass: anchor dependency-less schedules at the captured times.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      bound_[i] = kept_->count(i) == 0 ? rt_.inject_time(i) : 0;
+    }
+  }
+  run_pass_prepared();
+  result_.iterations = 1;
+  result_.residual = 0.0;
+  result_.iteration_log.clear();
+  result_.iteration_log.push_back({1, 0.0, result_.events, pass_wall_});
+  return result_;
+}
+
+const ReplayResult& ReplaySession::run() {
+  const std::uint32_t n = rt_.size();
+  std::uint32_t max_deps = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    max_deps = std::max(max_deps, rt_.dep_count(i));
+  }
+  const bool single_pass = naive_ || config_.dependency_window >= max_deps;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bound_[i] = kept_->count(i) == 0 ? rt_.inject_time(i) : 0;
+  }
+  run_pass_prepared();
+  log_.clear();
+  log_.push_back({1, 0.0, result_.events, pass_wall_});
+  result_.iterations = 1;
+  result_.residual = 0.0;
+  std::uint64_t total_events = result_.events;
+
+  if (!single_pass) {
+    // Iterative self-correction for truncated windows: re-derive each
+    // record's lower bound from its *full* dependency list evaluated against
+    // the previous pass's arrival times, then replay again, until injection
+    // times stop moving.
+    for (int iter = 2; iter <= config_.max_iterations; ++iter) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t dc = rt_.dep_count(i);
+        if (dc == 0) {
+          bound_[i] = rt_.inject_time(i);  // anchors never move
+          continue;
+        }
+        Cycle b = 0;
+        const trace::TraceDep* deps = rt_.deps_begin(i);
+        for (std::uint32_t k = 0; k < dc; ++k) {
+          // Parents were resolved to record indices at finalize() — no id
+          // lookup in the iteration hot loop.
+          const std::uint32_t p = rt_.dep_parent_index(i, k);
+          b = std::max(b, result_.arrive_time[p] + deps[k].slack);
+        }
+        bound_[i] = b;
+      }
+      prev_inject_.swap(result_.inject_time);
+      run_pass_prepared();
+      total_events += result_.events;
+
+      double shift = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto a = result_.inject_time[i];
+        const auto b = prev_inject_[i];
+        shift += static_cast<double>(a > b ? a - b : b - a);
+      }
+      shift /= static_cast<double>(n);
+      log_.push_back({iter, shift, result_.events, pass_wall_});
+      result_.iterations = iter;
+      result_.residual = shift;
+      if (shift < config_.convergence_threshold) break;
+    }
+  }
+  result_.events = total_events;
+  result_.iteration_log = log_;
+  snapshot_stats();
+  return result_;
+}
+
+void ReplaySession::snapshot_stats() { result_.stats = sim_.stats(); }
+
+ReplayResult ReplaySession::take_result() {
+  ReplayResult out = std::move(result_);
+  result_ = ReplayResult{};
+  return out;
+}
+
+}  // namespace sctm::core

@@ -1,0 +1,110 @@
+// Reusable replay sessions: one Simulator + one network + all pass-scoped
+// buffers, recycled across passes and across runs.
+//
+// The replay engines are multi-pass by nature (iterative self-correction)
+// and multi-run by usage (design-space exploration replays one trace over
+// dozens of candidates). The original engine rebuilt the Simulator, the
+// network and every per-pass vector from scratch for each pass — paying
+// construction, allocation and page-faulting costs that dwarf the event
+// kernel on small traces. A ReplaySession instead owns all of that state
+// and threads the reset() protocol through it between passes:
+//
+//   sim_.reset()    — queue cleared with its tie-break counter rewound,
+//                     stat values zeroed in place (entries survive, so
+//                     components' cached references stay valid),
+//   net_->reset()   — routers / arbitration / pending tables back to
+//                     freshly-constructed state, capacity retained.
+//
+// Reset-reuse is bit-identical to fresh construction (the differential
+// tests replay every network kind both ways and compare full schedules),
+// and passes 2..N run without a single heap allocation (asserted by the
+// alloc-counting test).
+//
+// replay_once()/replay() in replay.hpp are now thin wrappers over a
+// throwaway session; exploration keeps one long-lived session per worker
+// thread and rebind()s it only when the candidate's NetSpec differs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/replay.hpp"
+
+namespace sctm::core {
+
+class ReplaySession {
+ public:
+  /// Binds the session to `rt` (borrowed; must outlive the session) and
+  /// builds the network once via `factory`. `kept` optionally borrows a
+  /// precomputed enforced-dependency CSR (must outlive the session and match
+  /// `config`); when null the session builds and owns its own.
+  ReplaySession(const ReplayTrace& rt, const NetworkFactory& factory,
+                const ReplayConfig& config, const KeptDepsCsr* kept = nullptr);
+
+  ReplaySession(const ReplaySession&) = delete;
+  ReplaySession& operator=(const ReplaySession&) = delete;
+
+  /// Full engine on the current network: one pass in naive / full-window
+  /// mode, iterative refinement to a fixed point for truncated windows.
+  /// Exactly replay()'s semantics (and used to implement it). The returned
+  /// reference is into the session; it stays valid until the next run.
+  /// Includes a final stat snapshot.
+  const ReplayResult& run();
+
+  /// One replay pass: reset, seed from `baseline` lower bounds (captured
+  /// anchors when null), drain. Exactly replay_once()'s semantics except
+  /// that the stat snapshot is deferred to snapshot_stats() — after a
+  /// warmup pass this makes repeated calls allocation-free, which the
+  /// steady-state alloc test asserts. The result reference stays valid
+  /// until the next pass.
+  const ReplayResult& run_pass(const std::vector<Cycle>* baseline = nullptr);
+
+  /// Rebuilds the network with a new factory (topology or parameters
+  /// changed), erasing the old network's stat entries. The trace binding,
+  /// dependency CSR and every pass buffer are kept — this is what
+  /// exploration does between candidates whose NetSpec differs; candidates
+  /// with equal specs skip it and pure-reset instead.
+  void rebind(const NetworkFactory& factory);
+
+  /// Copies the simulator's stat registry into result().stats (the one
+  /// allocating step run_pass() defers).
+  void snapshot_stats();
+
+  /// Moves the result out (for the wrapper API). The session's result
+  /// buffers are left empty; the next run()/run_pass() re-sizes them.
+  ReplayResult take_result();
+
+  const ReplayResult& result() const { return result_; }
+  const ReplayConfig& config() const { return config_; }
+  const noc::Network& network() const { return *net_; }
+
+ private:
+  void bind_network(const NetworkFactory& factory);
+  void run_pass_prepared();  // bound_ already filled; core of every pass
+  void inject_record(std::uint32_t idx);
+  void mark_eligible(std::uint32_t idx, Cycle t);
+  void on_deliver(const noc::Message& msg);
+
+  const ReplayTrace& rt_;
+  ReplayConfig config_;
+  bool naive_;
+
+  KeptDepsCsr own_csr_;        // used only when kept was not borrowed
+  const KeptDepsCsr* kept_;
+
+  Simulator sim_;
+  std::unique_ptr<noc::Network> net_;
+
+  // Pass-scoped state, sized once to rt_.size() and recycled every pass.
+  std::vector<std::uint32_t> pending_;  // unresolved kept deps per record
+  std::vector<Cycle> ready_;   // max(arrival' + slack) over resolved deps
+  std::vector<Cycle> bound_;   // per-record lower bound for this pass
+  std::vector<Cycle> prev_inject_;  // previous pass's schedule (residual)
+  EligibilityBatcher eligible_;
+  std::vector<ReplayResult::IterationRecord> log_;  // run()'s pass log
+
+  ReplayResult result_;
+  double pass_wall_ = 0.0;  // wall seconds of the latest pass
+};
+
+}  // namespace sctm::core

@@ -26,6 +26,20 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
   pending_.reserve(64);
 }
 
+void EnocNetwork::reset() {
+  Network::reset();
+  for (auto& r : routers_) r->reset();
+  pending_.clear();
+  for (auto& w : active_bits_) w = 0;
+  in_flight_ = 0;
+  // The tick event (if any) died with the simulator's queue reset; the next
+  // inject re-arms the clock.
+  ticking_ = false;
+  active_cycles_ = 0;
+  router_ticks_ = 0;
+  activity_hash_ = 0;
+}
+
 void EnocNetwork::mark_active(NodeId n) {
   active_bits_[static_cast<std::size_t>(n) >> 6] |=
       std::uint64_t{1} << (static_cast<std::size_t>(n) & 63);

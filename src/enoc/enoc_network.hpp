@@ -38,6 +38,13 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
   void inject(noc::Message msg) override;
   bool idle() const override { return in_flight_ == 0; }
 
+  /// Session reset: routers, in-flight table, activity scoreboard and
+  /// datapath counters return to freshly-constructed state with all
+  /// capacity retained. Test/debug configuration (exhaustive tick mode, the
+  /// activity probe) survives. The owning Simulator must be reset first —
+  /// the self-clocking tick event lives in its queue.
+  void reset() override;
+
   const noc::Topology& topology() const { return topo_; }
   const EnocParams& params() const { return params_; }
   Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }

@@ -31,6 +31,10 @@ struct EnocParams {
   bool adaptive = false;
   ArbiterKind arbiter = ArbiterKind::kRoundRobin;
 
+  /// Memberwise equality: two parameter sets are interchangeable iff all
+  /// fields match (session reuse keys on this; see core/replay_session.hpp).
+  bool operator==(const EnocParams&) const = default;
+
   int total_vcs() const { return vnets * vcs_per_vnet; }
 
   /// Flits for a message of `payload` bytes (>=1; header piggybacks).

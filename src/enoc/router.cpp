@@ -59,6 +59,29 @@ Router::Router(Simulator& sim, std::string name, NodeId id,
   sa_winner_.resize(static_cast<std::size_t>(ports_));
 }
 
+void Router::reset() {
+  for (auto& ivc : inputs_) {
+    ivc.fifo.clear();
+    ivc.out_port = -1;
+    ivc.out_vc = -1;
+    ivc.next_dateline = 0;
+  }
+  for (int p = 0; p < ports_; ++p) {
+    const bool ejection = (p == topo_.local_port());
+    for (int v = 0; v < vcount_; ++v) {
+      auto& ovc = out_vc(p, v);
+      ovc.credits = ejection ? kInfiniteCredits : params_.buffer_depth;
+      ovc.busy = false;
+    }
+    sa_input_arb_[static_cast<std::size_t>(p)]->reset();
+    sa_output_arb_[static_cast<std::size_t>(p)]->reset();
+    va_arb_[static_cast<std::size_t>(p)]->reset();
+  }
+  inj_queue_.clear();
+  inj_active_vc_ = -1;
+  inj_active_msg_ = kInvalidMsg;
+}
+
 int Router::vnet_of(noc::MsgClass cls) const {
   if (params_.vnets < 2) return 0;
   switch (cls) {

@@ -81,6 +81,11 @@ class FlitRing {
     head_ = (head_ + 1) % buf_.size();
     --count_;
   }
+  /// Empties the ring, retaining its buffer (session reset path).
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
 
  private:
   void regrow(std::size_t cap) {
@@ -119,6 +124,12 @@ class Router : public Component {
   /// router moves them into local-port VCs as space frees). Flits are
   /// synthesized straight into the staging ring — no intermediate container.
   void inject(const noc::Message& msg, std::uint32_t nflits);
+
+  /// Session reset: restores freshly-constructed datapath state (VC fifos,
+  /// RC/VA results, credits, arbiter pointers, injection staging) without
+  /// releasing any buffer capacity. Cached stat references stay valid — the
+  /// owning simulator zeroes values via StatRegistry::zero().
+  void reset();
 
   NodeId id() const { return id_; }
   bool has_work() const;

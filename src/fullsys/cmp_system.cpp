@@ -55,7 +55,10 @@ CmpSystem::CmpSystem(Simulator& sim, std::string name, noc::Network& net,
       sim, this->name() + ".barrier", params_.barrier_home, n,
       params_.dir_latency, static_cast<Fabric&>(*this));
 
-  net_.set_deliver_callback([this](const noc::Message& m) { on_deliver(m); });
+  auto cb = [this](const noc::Message& m) { on_deliver(m); };
+  static_assert(noc::Network::DeliverFn::fits_inline<decltype(cb)>(),
+                "fabric delivery callback must stay within the SBO budget");
+  net_.set_deliver_callback(std::move(cb));
 }
 
 NodeId CmpSystem::home_of(std::uint64_t line) const {

@@ -13,6 +13,16 @@ void Network::note_injected(Message& msg) {
   ++injected_;
 }
 
+// Pure virtual with a body: subclasses' overrides delegate here for the
+// counters/histograms the base owns. The delivery callback is deliberately
+// kept — a session re-runs against the same sink.
+void Network::reset() {
+  injected_ = 0;
+  delivered_ = 0;
+  latency_.reset();
+  for (auto& h : latency_by_class_) h.reset();
+}
+
 void Network::deliver(Message msg) {
   msg.arrive_time = sim().now();
   ++delivered_;
@@ -27,6 +37,11 @@ IdealNetwork::IdealNetwork(Simulator& sim, std::string name,
     : Network(sim, std::move(name), topo.node_count()),
       topo_(topo),
       params_(params) {}
+
+void IdealNetwork::reset() {
+  Network::reset();
+  in_flight_ = 0;
+}
 
 Cycle IdealNetwork::model_latency(const Message& msg) const {
   const int hops = msg.src == msg.dst ? 0 : topo_.distance(msg.src, msg.dst);

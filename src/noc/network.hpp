@@ -5,11 +5,11 @@
 // and the ideal model are interchangeable per experiment.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 
 #include "common/histogram.hpp"
+#include "common/inline_fn.hpp"
 #include "noc/message.hpp"
 #include "noc/topology.hpp"
 #include "sim/component.hpp"
@@ -18,7 +18,10 @@ namespace sctm::noc {
 
 class Network : public Component {
  public:
-  using DeliverFn = std::function<void(const Message&)>;
+  /// Delivery callback, invoked once per delivered message on the hot path.
+  /// Move-only with a 56-byte inline capture budget (no heap allocation for
+  /// the usual [this]-style captures); see common/inline_fn.hpp.
+  using DeliverFn = BasicInlineFn<void(const Message&)>;
 
   Network(Simulator& sim, std::string name, int node_count)
       : Component(sim, std::move(name)), node_count_(node_count) {}
@@ -36,6 +39,13 @@ class Network : public Component {
 
   /// True when no message is in flight (used by drivers to detect drain).
   virtual bool idle() const = 0;
+
+  /// Session reset: returns the network to its freshly-constructed state
+  /// while retaining allocated capacity (buffers, tables, histograms keep
+  /// their storage). The delivery callback is preserved. Call after (or
+  /// together with) Simulator::reset() — any in-flight events the queue
+  /// dropped are forgotten here too. Overrides must call Network::reset().
+  virtual void reset() = 0;
 
   std::uint64_t injected_count() const { return injected_; }
   std::uint64_t delivered_count() const { return delivered_; }
@@ -71,6 +81,8 @@ class IdealNetwork final : public Network {
     Cycle base_latency = 2;        // fixed overhead (cycles)
     Cycle per_hop_latency = 1;     // per topological hop
     double bytes_per_cycle = 16;   // serialization bandwidth
+
+    bool operator==(const Params&) const = default;
   };
 
   IdealNetwork(Simulator& sim, std::string name, const Topology& topo,
@@ -78,6 +90,7 @@ class IdealNetwork final : public Network {
 
   void inject(Message msg) override;
   bool idle() const override { return in_flight_ == 0; }
+  void reset() override;
 
   /// Deterministic latency this model assigns to a message.
   Cycle model_latency(const Message& msg) const;

@@ -68,6 +68,8 @@ class Topology {
 
   std::string describe() const;
 
+  bool operator==(const Topology&) const = default;
+
  private:
   Topology(Kind kind, int width, int height);
 

@@ -119,7 +119,10 @@ TrafficGenerator::TrafficGenerator(Simulator& sim, std::string name,
 void TrafficGenerator::start() {
   measure_start_ = sim().now() + params_.warmup;
   measure_end_ = measure_start_ + params_.measure;
-  net_.set_deliver_callback([this](const Message& m) { on_deliver(m); });
+  auto cb = [this](const Message& m) { on_deliver(m); };
+  static_assert(Network::DeliverFn::fits_inline<decltype(cb)>(),
+                "delivery callback must stay within the SBO budget");
+  net_.set_deliver_callback(std::move(cb));
   for (NodeId node = 0; node < topo_.node_count(); ++node) {
     sim().schedule_in(0, [this, node] { tick(node); });
   }

@@ -16,6 +16,8 @@ struct MicroringParams {
   double heating_uw = 26.0;        // thermal trimming per ring (static)
   double modulation_fj_per_bit = 50.0;
   double detection_fj_per_bit = 25.0;
+
+  bool operator==(const MicroringParams&) const = default;
 };
 
 struct WaveguideParams {
@@ -25,15 +27,21 @@ struct WaveguideParams {
   double coupler_loss_db = 1.0;    // fiber-to-chip coupler (x2 per path)
   /// Group index of the SOI waveguide (light speed divisor).
   double group_index = 4.2;
+
+  bool operator==(const WaveguideParams&) const = default;
 };
 
 struct PhotodetectorParams {
   double sensitivity_dbm = -20.0;  // minimum detectable power per lambda
+
+  bool operator==(const PhotodetectorParams&) const = default;
 };
 
 struct LaserParams {
   double wall_plug_efficiency = 0.3;  // electrical->optical
   double power_margin_db = 1.0;       // engineering margin on the budget
+
+  bool operator==(const LaserParams&) const = default;
 };
 
 /// Time of flight in seconds for a waveguide of `length_cm`.

@@ -14,13 +14,28 @@ HybridNetwork::HybridNetwork(Simulator& sim, std::string name,
                                            params_.optical);
   // Both layers deliver into the hybrid's single delivery stream; latency
   // accounting happens here so per-class histograms cover both layers.
-  const auto deliver_up = [this](const noc::Message& m) {
+  // DeliverFn is move-only, so each layer gets its own instance.
+  install_deliver_up(*electrical_);
+  install_deliver_up(*optical_);
+}
+
+void HybridNetwork::install_deliver_up(noc::Network& layer) {
+  auto deliver_up = [this](const noc::Message& m) {
     noc::Message msg = m;
     msg.arrive_time = kNoCycle;  // deliver() restamps (same cycle)
     deliver(msg);
   };
-  electrical_->set_deliver_callback(deliver_up);
-  optical_->set_deliver_callback(deliver_up);
+  static_assert(noc::Network::DeliverFn::fits_inline<decltype(deliver_up)>(),
+                "hybrid layer callback must stay within the SBO budget");
+  layer.set_deliver_callback(std::move(deliver_up));
+}
+
+void HybridNetwork::reset() {
+  Network::reset();
+  electrical_->reset();
+  optical_->reset();
+  optical_count_ = 0;
+  electrical_count_ = 0;
 }
 
 bool HybridNetwork::goes_optical(const noc::Message& msg) const {

@@ -26,6 +26,8 @@ struct HybridParams {
   int distance_threshold = 3;
   /// Messages with payload >= this many bytes go optical regardless.
   std::uint32_t size_threshold = 64;
+
+  bool operator==(const HybridParams&) const = default;
 };
 
 class HybridNetwork final : public noc::Network {
@@ -35,6 +37,10 @@ class HybridNetwork final : public noc::Network {
 
   void inject(noc::Message msg) override;
   bool idle() const override;
+
+  /// Session reset: both layers and the steering counters return to
+  /// freshly-constructed state (capacity retained). Reset the Simulator first.
+  void reset() override;
 
   /// The policy, exposed for tests and the steering ablation.
   bool goes_optical(const noc::Message& msg) const;
@@ -51,6 +57,8 @@ class HybridNetwork final : public noc::Network {
   double optical_fraction() const;
 
  private:
+  void install_deliver_up(noc::Network& layer);
+
   noc::Topology topo_;
   HybridParams params_;
   std::unique_ptr<enoc::EnocNetwork> electrical_;

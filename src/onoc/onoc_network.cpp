@@ -33,9 +33,28 @@ OnocNetwork::OnocNetwork(Simulator& sim, std::string name,
     receivers_.resize(static_cast<std::size_t>(topo_.node_count()));
     ctrl_ = std::make_unique<enoc::EnocNetwork>(
         sim, this->name() + ".ctrl", topo_, params_.ctrl);
-    ctrl_->set_deliver_callback(
-        [this](const noc::Message& m) { on_ctrl_deliver(m); });
+    auto up = [this](const noc::Message& m) { on_ctrl_deliver(m); };
+    static_assert(noc::Network::DeliverFn::fits_inline<decltype(up)>(),
+                  "control-plane callback must stay within the SBO budget");
+    ctrl_->set_deliver_callback(std::move(up));
   }
+}
+
+void OnocNetwork::reset() {
+  Network::reset();
+  for (auto& ring : tokens_) ring.reset();
+  for (auto& c : src_channel_free_) c = 0;
+  for (auto& c : pool_free_) c = 0;
+  if (ctrl_) ctrl_->reset();
+  for (auto& r : receivers_) {
+    r.busy = false;
+    r.queue.clear();
+  }
+  pending_.clear();
+  next_pending_id_ = 1;
+  next_ctrl_msg_id_ = 1;
+  in_flight_ = 0;
+  data_bytes_ = 0;
 }
 
 bool OnocNetwork::idle() const {

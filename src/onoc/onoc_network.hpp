@@ -41,6 +41,12 @@ class OnocNetwork : public noc::Network {
   void inject(noc::Message msg) override;
   bool idle() const override;
 
+  /// Session reset: arbitration state (token rings / channel horizons /
+  /// receiver queues), the control mesh (when present), pending tables and
+  /// id counters return to freshly-constructed state, retaining capacity.
+  /// The owning Simulator must be reset first.
+  void reset() override;
+
   const OnocParams& params() const { return params_; }
   const noc::Topology& topology() const { return topo_; }
 

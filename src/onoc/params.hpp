@@ -52,6 +52,8 @@ struct OnocParams {
   /// Electrical control mesh parameters (path-setup mode only).
   enoc::EnocParams ctrl;
 
+  bool operator==(const OnocParams&) const = default;
+
   /// Channel bandwidth in bytes per core cycle.
   double bytes_per_cycle() const {
     return static_cast<double>(wavelengths) * gbps_per_wavelength /

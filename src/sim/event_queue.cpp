@@ -170,4 +170,9 @@ void EventQueue::clear() {
   size_ = 0;
 }
 
+void EventQueue::reset() {
+  clear();
+  next_seq_ = 0;
+}
+
 }  // namespace sctm

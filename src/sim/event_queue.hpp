@@ -81,6 +81,13 @@ class EventQueue {
 
   void clear();
 
+  /// Session reset: clear() plus a sequence-counter rewind, so the queue is
+  /// observationally identical to a freshly constructed one (total_pushed()
+  /// restarts at zero, tie-break seqs repeat bit-exactly) while every bucket
+  /// vector, the far heap and the migration scratch retain their grown
+  /// capacity. This is what makes replay passes 2..N allocation-free.
+  void reset();
+
   /// Total events ever pushed (event-count metric for bench R-A2).
   std::uint64_t total_pushed() const { return next_seq_; }
 

@@ -59,4 +59,12 @@ void Simulator::reset_time() {
   stopped_ = false;
 }
 
+void Simulator::reset() {
+  queue_.reset();
+  stats_.zero();
+  now_ = 0;
+  executed_ = 0;
+  stopped_ = false;
+}
+
 }  // namespace sctm

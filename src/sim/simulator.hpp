@@ -59,6 +59,17 @@ class Simulator {
   /// driver can reset between warmup and measurement phases independently.
   void reset_time();
 
+  /// Full session reset: the kernel becomes observationally identical to a
+  /// freshly constructed Simulator — queue emptied with its sequence counter
+  /// rewound (tie-break order repeats bit-exactly), time/executed-count/stop
+  /// flag zeroed, and every registered stat *value* zeroed. Stat registry
+  /// *entries* survive, so components holding cached counter/accumulator
+  /// references (routers, networks) stay valid across resets; capacity of
+  /// the queue's wheel buckets and far heap is retained. Components whose
+  /// events were dropped by the queue clear must be reset too (see
+  /// noc::Network::reset()).
+  void reset();
+
   StatRegistry& stats() { return stats_; }
   const StatRegistry& stats() const { return stats_; }
 

@@ -50,14 +50,48 @@ TEST(Explore, SortedByRuntime) {
 }
 
 TEST(Explore, ThreadCountInvariant) {
+  // One worker with one long-lived session versus the full hardware pool
+  // (threads=0 -> default_parallelism()): the partitioning of candidates
+  // onto sessions — and therefore which results come from a pure reset
+  // versus a rebind versus a fresh session — must not leak into any metric.
   const auto trace = capture_fft();
   const auto serial = explore(trace, small_space(), {}, 1);
-  const auto parallel = explore(trace, small_space(), {}, 8);
+  const auto parallel = explore(trace, small_space(), {}, 0);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].name, parallel[i].name);
     EXPECT_EQ(serial[i].runtime, parallel[i].runtime);
+    EXPECT_DOUBLE_EQ(serial[i].mean_latency, parallel[i].mean_latency);
     EXPECT_EQ(serial[i].p99_latency, parallel[i].p99_latency);
+    EXPECT_EQ(serial[i].iterations, parallel[i].iterations);
+  }
+}
+
+TEST(Explore, EqualSpecCandidatesYieldIdenticalResults) {
+  // Duplicated specs interleaved with a different one drive a single worker
+  // session through both reuse paths: pure reset (equal spec follows equal
+  // spec) and rebind (spec changes, then changes back). Every duplicate must
+  // score exactly like the first evaluation of its spec.
+  const auto trace = capture_fft();
+  NetSpec enoc;
+  enoc.kind = NetKind::kEnoc;
+  NetSpec swmr;
+  swmr.kind = NetKind::kOnocSwmr;
+  const std::vector<Candidate> space = {
+      {"enoc-a", enoc}, {"enoc-b", enoc}, {"swmr", swmr}, {"enoc-c", enoc}};
+  const auto results = explore(trace, space, {}, 1);
+  ASSERT_EQ(results.size(), 4u);
+  const ExploreResult* first = nullptr;
+  for (const auto& r : results) {
+    if (r.name.rfind("enoc-", 0) != 0) continue;
+    if (first == nullptr) {
+      first = &r;
+      continue;
+    }
+    EXPECT_EQ(r.runtime, first->runtime) << r.name;
+    EXPECT_DOUBLE_EQ(r.mean_latency, first->mean_latency) << r.name;
+    EXPECT_EQ(r.p99_latency, first->p99_latency) << r.name;
+    EXPECT_EQ(r.iterations, first->iterations) << r.name;
   }
 }
 

@@ -13,7 +13,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/driver.hpp"
 #include "core/replay.hpp"
+#include "core/replay_session.hpp"
 #include "enoc/enoc_network.hpp"
 #include "sim/simulator.hpp"
 
@@ -205,6 +207,47 @@ TEST(AllocFreeKernel, ReplayEligibilityBatcherSteadyStateIsAllocationFree) {
   EXPECT_EQ(dispatched, (256u + 2048u) * kBatch);
   EXPECT_EQ(g_allocs - allocs_before, 0u)
       << "steady-state eligibility batching hit the heap";
+}
+
+TEST(AllocFreeKernel, ReplaySessionPassesAfterWarmupAreAllocationFree) {
+  // The session reset protocol end-to-end: capture a mesh workload (free to
+  // allocate), bind one ReplaySession, run two warmup passes — the first
+  // sizes every pass buffer, wheel bucket, flit ring and batch slot; the
+  // second proves the footprint converged — then assert that further passes
+  // never touch the heap. This is the acceptance bar for reset() being
+  // capacity-retaining at every layer (simulator, network, routers, replay
+  // buffers) rather than a convenience clear.
+  fullsys::AppParams app;
+  app.name = "jacobi";
+  app.cores = 16;
+  app.lines_per_core = 8;
+  app.iterations = 1;
+  fullsys::FullSysParams sys;
+  sys.l1_sets = 8;
+  sys.l1_ways = 2;
+  sys.l2_sets = 32;
+  sys.l2_ways = 4;
+  core::NetSpec spec;
+  spec.kind = core::NetKind::kEnoc;
+  const auto exec = core::run_execution(app, spec, sys);
+  const core::ReplayTrace rt(exec.trace);
+  ASSERT_FALSE(rt.empty());
+
+  core::ReplaySession session(rt, core::make_factory(spec), {});
+  session.run_pass();  // warmup: size pass buffers, buckets, rings
+  session.run_pass();  // warmup: prove the footprint converged
+  const Cycle runtime = session.result().runtime;
+
+  const std::uint64_t allocs_before = g_allocs;
+  const std::uint64_t fallbacks_before = InlineFn::heap_fallbacks();
+  constexpr int kPasses = 8;
+  for (int p = 0; p < kPasses; ++p) {
+    const auto& res = session.run_pass();
+    ASSERT_EQ(res.runtime, runtime);  // still the exact schedule
+  }
+  EXPECT_EQ(g_allocs - allocs_before, 0u)
+      << "replay passes 2..N hit the heap (reset protocol leaked capacity)";
+  EXPECT_EQ(InlineFn::heap_fallbacks() - fallbacks_before, 0u);
 }
 
 TEST(AllocFreeKernel, FarHeapPathAllocatesOnlyForGrowth) {
