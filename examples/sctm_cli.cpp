@@ -60,10 +60,11 @@ using namespace sctm;
       "[--cores N] [--lines N] [--iters N] [--mesh WxH] [--seed S] "
       "[--format v1|v2]\n"
       "  sctm_cli replay  --trace <file> --net <kind> [--mode naive|sctm] "
-      "[--window W] [--iters-max N] [--csv <file>] [--mesh WxH]\n"
+      "[--window W] [--iters-max N] [--threads N] [--csv <file>] "
+      "[--mesh WxH]\n"
       "  sctm_cli explore --trace <file> --candidates <config> "
-      "[--threads N] [--mode naive|sctm] [--window W] [--iters-max N] "
-      "[--csv <file>]\n"
+      "[--threads N] [--tick-threads N] [--mode naive|sctm] [--window W] "
+      "[--iters-max N] [--csv <file>]\n"
       "  sctm_cli inspect --trace <file> [--text]\n"
       "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
       "[--iters N] [--mesh WxH] [--stats <file>]\n"
@@ -225,6 +226,12 @@ core::ReplayConfig replay_cfg_from(const std::map<std::string, std::string>& f) 
   if (const auto it = f.find("iters-max"); it != f.end()) {
     cfg.max_iterations = std::stoi(it->second);
   }
+  // Sharded-tick worker count (0 = one per hardware thread). Results are
+  // bit-identical for any value; `replay` also accepts the shorter
+  // --threads, while `explore` reserves that name for candidate workers.
+  if (const auto it = f.find("tick-threads"); it != f.end()) {
+    cfg.threads = static_cast<unsigned>(std::stoul(it->second));
+  }
   return cfg;
 }
 
@@ -242,7 +249,10 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
     spec.topo = noc::Topology::mesh(8, 8);
   }
 
-  const core::ReplayConfig cfg = replay_cfg_from(f);
+  core::ReplayConfig cfg = replay_cfg_from(f);
+  if (const auto it = f.find("threads"); it != f.end()) {
+    cfg.threads = static_cast<unsigned>(std::stoul(it->second));
+  }
 
   const auto rep = core::run_replay(loaded, spec, cfg);
   const auto h = rep.result.latency_histogram();

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/json.hpp"
+#include "common/parallel.hpp"
 #include "trace/capture.hpp"
 #include "trace/trace_io.hpp"
 #include "tracestore/trace_store.hpp"
@@ -201,6 +202,11 @@ RunMetrics replay_metrics_impl(std::string trace_ident, std::int32_t nodes,
                    std::uint64_t{config.dependency_window});
     m.manifest.set("max_iterations", config.max_iterations);
   }
+  // Resolved tick-thread count (0 = hardware) — recorded for provenance even
+  // though results are thread-count invariant by construction.
+  m.manifest.set("tick_threads",
+                 std::uint64_t{config.threads == 0 ? default_parallelism()
+                                                   : config.threads});
   m.add_phases(run.phases);
   m.set_stats(run.result.stats);
   m.add_histogram("latency", run.result.latency_histogram());

@@ -21,9 +21,10 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 /// One worker: drains candidates off the shared counter with a single
-/// long-lived ReplaySession. Candidates whose NetSpec equals the currently
-/// bound one reuse the constructed network through the reset protocol;
-/// a differing spec rebuilds the network (rebind) but keeps the session's
+/// long-lived ReplaySession. The session's spec-aware rebind diffs each
+/// candidate against the bound network: equal specs reuse it through the
+/// reset protocol, parameter-only changes on the same kind/topology patch
+/// it in place, and everything else rebuilds — always keeping the session's
 /// trace binding, dependency CSR and pass buffers.
 void evaluate_candidates(const ReplayTrace& rt,
                          const std::vector<Candidate>& candidates,
@@ -31,18 +32,16 @@ void evaluate_candidates(const ReplayTrace& rt,
                          std::atomic<std::size_t>& next,
                          std::vector<ExploreResult>& out) {
   std::optional<ReplaySession> session;
-  const NetSpec* bound = nullptr;
   for (;;) {
     const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
     if (i >= candidates.size()) return;
     const auto t0 = std::chrono::steady_clock::now();
     const NetSpec& spec = candidates[i].spec;
     if (!session) {
-      session.emplace(rt, make_factory(spec), config);
-    } else if (!(*bound == spec)) {
-      session->rebind(make_factory(spec));
+      session.emplace(rt, spec, config);
+    } else {
+      session->rebind(spec);
     }
-    bound = &spec;
     const ReplayResult& res = session->run();
     const Histogram h = res.latency_histogram();
     out[i] = ExploreResult{candidates[i].name,     res.runtime,

@@ -51,6 +51,11 @@ struct ReplayConfig {
   int max_iterations = 8;
   /// Converged when the mean |Δinject| between passes drops below this.
   double convergence_threshold = 0.5;
+  /// Worker threads for sharded network ticking (ReplaySession owns the
+  /// pool). 1 = serial (no pool); 0 = one lane per hardware thread. Results
+  /// are bit-identical for every value — see the partitioned-tick contract
+  /// in noc/network.hpp — so this is purely a speed knob.
+  unsigned threads = 1;
 };
 
 /// Outcome of one replay pass.

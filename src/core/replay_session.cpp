@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace sctm::core {
 
 namespace {
@@ -38,8 +40,22 @@ ReplaySession::ReplaySession(const ReplayTrace& rt,
   prev_inject_.assign(n, 0);
   result_.inject_time.reserve(n);
   result_.arrive_time.reserve(n);
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<WorkerPool>(config_.threads);
+    sim_.set_worker_pool(pool_.get());
+  }
   bind_network(factory);
 }
+
+ReplaySession::ReplaySession(const ReplayTrace& rt, const NetSpec& spec,
+                             const ReplayConfig& config,
+                             const KeptDepsCsr* kept)
+    : ReplaySession(rt, make_factory(spec), config, kept) {
+  bound_spec_ = spec;
+  has_spec_ = true;
+}
+
+ReplaySession::~ReplaySession() = default;
 
 void ReplaySession::bind_network(const NetworkFactory& factory) {
   net_ = factory(sim_);
@@ -59,7 +75,39 @@ void ReplaySession::rebind(const NetworkFactory& factory) {
   net_.reset();
   sim_.stats().reset();
   sim_.reset();
+  has_spec_ = false;
+  last_rebind_in_place_ = false;
   bind_network(factory);
+}
+
+void ReplaySession::rebind(const NetSpec& spec) {
+  if (has_spec_ && bound_spec_ == spec) {
+    // Nothing changed; the next pass's reset protocol is all that's needed.
+    last_rebind_in_place_ = true;
+    return;
+  }
+  const bool same_shape =
+      has_spec_ && bound_spec_.kind == spec.kind && bound_spec_.topo == spec.topo;
+  if (same_shape && spec.kind == NetKind::kIdeal) {
+    // Parameters are only read at inject time — patch and reset.
+    sim_.reset();
+    net_->reset();
+    static_cast<noc::IdealNetwork&>(*net_).set_params(spec.ideal);
+    last_rebind_in_place_ = true;
+  } else if (same_shape && spec.kind == NetKind::kEnoc) {
+    // Rebuild router datapaths in place; stat entries and delivery callback
+    // survive. Kernel reset first — the tick event lives in its queue.
+    sim_.reset();
+    static_cast<enoc::EnocNetwork&>(*net_).reparameterize(spec.enoc);
+    last_rebind_in_place_ = true;
+  } else {
+    // Kind/topology changes — and the ONoC/Hybrid backends, whose parameters
+    // are baked into token rings and channel tables at construction — take
+    // the full rebuild path.
+    rebind(make_factory(spec));
+  }
+  bound_spec_ = spec;
+  has_spec_ = true;
 }
 
 void ReplaySession::inject_record(std::uint32_t idx) {

@@ -28,7 +28,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/driver.hpp"
 #include "core/replay.hpp"
+
+namespace sctm {
+class WorkerPool;
+}
 
 namespace sctm::core {
 
@@ -38,8 +43,18 @@ class ReplaySession {
   /// builds the network once via `factory`. `kept` optionally borrows a
   /// precomputed enforced-dependency CSR (must outlive the session and match
   /// `config`); when null the session builds and owns its own.
+  /// config.threads != 1 makes the session own a WorkerPool and install it
+  /// on the kernel; backends that support partitioned ticking (ENoC) shard
+  /// their cycles over it, bit-identically to serial.
   ReplaySession(const ReplayTrace& rt, const NetworkFactory& factory,
                 const ReplayConfig& config, const KeptDepsCsr* kept = nullptr);
+
+  /// Spec-aware binding: like the factory constructor but the session
+  /// remembers the NetSpec it built, enabling the rebind(NetSpec) fast path.
+  ReplaySession(const ReplayTrace& rt, const NetSpec& spec,
+                const ReplayConfig& config, const KeptDepsCsr* kept = nullptr);
+
+  ~ReplaySession();
 
   ReplaySession(const ReplaySession&) = delete;
   ReplaySession& operator=(const ReplaySession&) = delete;
@@ -63,8 +78,23 @@ class ReplaySession {
   /// changed), erasing the old network's stat entries. The trace binding,
   /// dependency CSR and every pass buffer are kept — this is what
   /// exploration does between candidates whose NetSpec differs; candidates
-  /// with equal specs skip it and pure-reset instead.
+  /// with equal specs skip it and pure-reset instead. Drops any NetSpec
+  /// binding (a factory is opaque, so the fast path can't be keyed).
   void rebind(const NetworkFactory& factory);
+
+  /// Spec-aware rebind. Diffs `spec` against the bound spec memberwise:
+  /// equal specs are a no-op; same kind + topology with only parameter
+  /// changes patch the live network in place (Ideal: set_params, ENoC:
+  /// reparameterize — no reconstruction, stat entries survive); anything
+  /// else (kind/topology change, or ONoC/Hybrid whose parameters are baked
+  /// into token rings and channel tables at construction) falls back to the
+  /// full factory rebuild. Either way the session ends reset and bound to
+  /// `spec` — in-place vs rebuild is observable only through
+  /// last_rebind_in_place() and speed.
+  void rebind(const NetSpec& spec);
+
+  /// Whether the most recent rebind(NetSpec) took the in-place fast path.
+  bool last_rebind_in_place() const { return last_rebind_in_place_; }
 
   /// Copies the simulator's stat registry into result().stats (the one
   /// allocating step run_pass() defers).
@@ -77,6 +107,7 @@ class ReplaySession {
   const ReplayResult& result() const { return result_; }
   const ReplayConfig& config() const { return config_; }
   const noc::Network& network() const { return *net_; }
+  noc::Network& network() { return *net_; }
 
  private:
   void bind_network(const NetworkFactory& factory);
@@ -92,8 +123,14 @@ class ReplaySession {
   KeptDepsCsr own_csr_;        // used only when kept was not borrowed
   const KeptDepsCsr* kept_;
 
+  /// Owned worker pool (null when config.threads == 1). Declared before
+  /// sim_ so it outlives the kernel holding the non-owning pointer.
+  std::unique_ptr<WorkerPool> pool_;
   Simulator sim_;
   std::unique_ptr<noc::Network> net_;
+  NetSpec bound_spec_;
+  bool has_spec_ = false;
+  bool last_rebind_in_place_ = false;
 
   // Pass-scoped state, sized once to rt_.size() and recycled every pass.
   std::vector<std::uint32_t> pending_;  // unresolved kept deps per record

@@ -1,7 +1,11 @@
 #include "enoc/enoc_network.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "sim/simulator.hpp"
 
 namespace sctm::enoc {
 
@@ -18,11 +22,12 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
   routers_.reserve(static_cast<std::size_t>(topo_.node_count()));
   for (NodeId n = 0; n < topo_.node_count(); ++n) {
     routers_.push_back(std::make_unique<Router>(
-        sim, this->name() + ".r" + std::to_string(n), n, topo_, params_,
-        static_cast<RouterCallbacks&>(*this)));
+        sim, this->name() + ".r" + std::to_string(n), n, topo_, params_));
   }
   active_bits_.assign((static_cast<std::size_t>(topo_.node_count()) + 63) / 64,
                       0);
+  shards_.resize(1);
+  shards_[0].clear_mask.assign(active_bits_.size(), 0);
   pending_.reserve(64);
 }
 
@@ -31,6 +36,12 @@ void EnocNetwork::reset() {
   for (auto& r : routers_) r->reset();
   pending_.clear();
   for (auto& w : active_bits_) w = 0;
+  for (auto& s : shards_) {
+    s.outbox.clear();
+    for (auto& w : s.clear_mask) w = 0;
+    s.ticks = 0;
+  }
+  shards_in_use_ = 0;
   in_flight_ = 0;
   // The tick event (if any) died with the simulator's queue reset; the next
   // inject re-arms the clock.
@@ -38,6 +49,18 @@ void EnocNetwork::reset() {
   active_cycles_ = 0;
   router_ticks_ = 0;
   activity_hash_ = 0;
+}
+
+void EnocNetwork::reparameterize(const EnocParams& params) {
+  if (!noc::compatible(topo_, params.routing)) {
+    throw std::invalid_argument(name() +
+                                ": routing algorithm incompatible with " +
+                                topo_.describe());
+  }
+  params.validate(topo_.kind() != noc::Topology::Kind::kMesh);
+  for (auto& r : routers_) r->reparameterize(params);
+  params_ = params;
+  reset();
 }
 
 void EnocNetwork::mark_active(NodeId n) {
@@ -63,7 +86,7 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 }
 }  // namespace
 
-void EnocNetwork::forward_flit(NodeId node, int out_dir, const Flit& flit) {
+void EnocNetwork::apply_forward(NodeId node, int out_dir, const Flit& flit) {
   activity_hash_ = mix(activity_hash_,
                        (static_cast<std::uint64_t>(sim().now()) << 24) ^
                            (flit.msg << 8) ^
@@ -88,7 +111,7 @@ void EnocNetwork::forward_flit(NodeId node, int out_dir, const Flit& flit) {
   sim().schedule_in(params_.link_latency, std::move(ev));
 }
 
-void EnocNetwork::eject_flit(NodeId node, const Flit& flit) {
+void EnocNetwork::apply_eject(NodeId node, const Flit& flit) {
   activity_hash_ = mix(activity_hash_,
                        (static_cast<std::uint64_t>(sim().now()) << 24) ^
                            (flit.msg << 8) ^
@@ -110,7 +133,7 @@ void EnocNetwork::eject_flit(NodeId node, const Flit& flit) {
   }
 }
 
-void EnocNetwork::return_credit(NodeId node, int in_dir, int vc) {
+void EnocNetwork::apply_credit(NodeId node, int in_dir, int vc) {
   // The credit goes to the upstream router that feeds our input port
   // `in_dir`: that is our neighbor through `in_dir` itself, and the flit left
   // it through the opposite port.
@@ -136,45 +159,121 @@ void EnocNetwork::ensure_ticking() {
   sim().schedule_in(1, [this] { tick(); });
 }
 
+void EnocNetwork::prepare_shards(unsigned nshards) {
+  if (shards_.size() < nshards) shards_.resize(nshards);
+  for (unsigned s = 0; s < nshards; ++s) {
+    if (shards_[s].clear_mask.size() != active_bits_.size()) {
+      shards_[s].clear_mask.assign(active_bits_.size(), 0);
+    }
+  }
+  shards_in_use_ = nshards;
+}
+
 void EnocNetwork::tick() {
   ++active_cycles_;
-  if (exhaustive_tick_) {
-    // Seed policy (kept as a test oracle): tick every router every cycle.
-    for (std::size_t w = 0; w < active_bits_.size(); ++w) active_bits_[w] = 0;
-    for (auto& r : routers_) {
-      if (r->tick()) mark_active(r->id());
-      ++router_ticks_;
-    }
-  } else {
-    // Drain the active set in ascending router-id order (bit order), the
-    // same order the exhaustive loop visits routers, so arbitration history
-    // stays bit-identical. A tick may *synchronously* activate a router:
-    // ejection delivers to the endpoint, which can reply immediately with a
-    // fresh inject (always at the delivering node). Bits are therefore
-    // cleared one at a time on the live word — never by overwriting a
-    // snapshot — so a mark_active() fired mid-scan is never lost. Clearing
-    // only when tick() reports no work is safe because any synchronous
-    // activation of the ticked router leaves it with flits, which tick()'s
-    // has_work() return already reflects; and a tick skipped or added for a
-    // router whose flits were injected *this* cycle is a no-op either way
-    // (the injection phase only pulls flits injected on earlier cycles).
-    for (std::size_t w = 0; w < active_bits_.size(); ++w) {
-      std::uint64_t bits = active_bits_[w];
-      while (bits != 0) {
-        const int b = std::countr_zero(bits);
-        bits &= bits - 1;
-        const auto idx = (w << 6) | static_cast<std::size_t>(b);
-        if (!routers_[idx]->tick()) {
-          active_bits_[w] &= ~(std::uint64_t{1} << b);
-        }
-        ++router_ticks_;
+  // Shard the cycle when a pool is installed and the active set is dense
+  // enough to amortize the barriers. The threshold is purely a cost knob:
+  // serial and sharded cycles are bit-identical (same outbox + drain path),
+  // so flipping between them cycle by cycle is unobservable.
+  unsigned nshards = 1;
+  if (!exhaustive_tick_) {
+    WorkerPool* pool = sim().worker_pool();
+    if (pool != nullptr && pool->size() > 1) {
+      std::size_t actives = 0;
+      for (const std::uint64_t w : active_bits_) actives += std::popcount(w);
+      if (actives >= static_cast<std::size_t>(parallel_grain_) * pool->size()) {
+        nshards = std::min<unsigned>(
+            pool->size(), static_cast<unsigned>(routers_.size()));
       }
     }
   }
+  prepare_shards(nshards);
+  if (nshards > 1) {
+    sim().worker_pool()->run([this, nshards](unsigned lane) {
+      if (lane < nshards) tick_partitioned(lane, nshards);
+    });
+  } else {
+    tick_partitioned(0, 1);
+  }
+  drain_ticks();
   if (in_flight_ > 0) {
     sim().schedule_in(1, [this] { tick(); });
   } else {
     ticking_ = false;
+  }
+}
+
+void EnocNetwork::tick_partitioned(unsigned shard, unsigned nshards) {
+  ShardState& st = shards_[shard];
+  if (exhaustive_tick_) {
+    // Seed policy (kept as a test oracle): tick every router every cycle.
+    // Serial by construction (tick() never shards this mode), but the side
+    // effects still flow through the outbox so the oracle exercises the
+    // same drain path.
+    for (auto& w : active_bits_) w = 0;
+    for (auto& r : routers_) {
+      if (r->tick(st.outbox)) mark_active(r->id());
+      ++st.ticks;
+    }
+    return;
+  }
+  // Contiguous router-id range per shard; entries land in the outbox in
+  // ascending router-id order within the shard, so the ascending-shard drain
+  // replays the serial engine's visit order exactly. The live scoreboard is
+  // read-only here — no-work routers are recorded in the shard's clear mask
+  // (shards may share a 64-bit word, so concurrent RMW on active_bits_
+  // itself would race).
+  const std::size_t n = routers_.size();
+  const std::size_t lo = n * shard / nshards;
+  const std::size_t hi = n * (shard + 1) / nshards;
+  for (std::size_t idx = lo; idx < hi;) {
+    const std::size_t w = idx >> 6;
+    std::uint64_t bits = active_bits_[w] >> (idx & 63);
+    if (bits == 0) {
+      idx = (w + 1) << 6;  // next word
+      continue;
+    }
+    idx += static_cast<std::size_t>(std::countr_zero(bits));
+    if (idx >= hi) break;
+    if (!routers_[idx]->tick(st.outbox)) {
+      st.clear_mask[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    }
+    ++st.ticks;
+    ++idx;
+  }
+}
+
+void EnocNetwork::drain_ticks() {
+  const unsigned used = shards_in_use_;
+  shards_in_use_ = 0;
+  // Clear masks first, across ALL shards, before any outbox entry is
+  // applied: draining can activate routers synchronously (ejection →
+  // delivery → same-cycle reply inject → mark_active), and those
+  // activations must survive this cycle's clears.
+  for (unsigned s = 0; s < used; ++s) {
+    ShardState& st = shards_[s];
+    for (std::size_t w = 0; w < active_bits_.size(); ++w) {
+      active_bits_[w] &= ~st.clear_mask[w];
+      st.clear_mask[w] = 0;
+    }
+    router_ticks_ += st.ticks;
+    st.ticks = 0;
+  }
+  for (unsigned s = 0; s < used; ++s) {
+    for (const auto& e : shards_[s].outbox.entries) {
+      switch (e.kind) {
+        case RouterOutbox::Entry::Kind::kForward:
+          apply_forward(e.node, e.port, e.flit);
+          break;
+        case RouterOutbox::Entry::Kind::kEject:
+          apply_eject(e.node, e.flit);
+          break;
+        case RouterOutbox::Entry::Kind::kCredit:
+          apply_credit(e.node, e.port, e.vc);
+          break;
+      }
+    }
+    shards_[s].outbox.clear();
   }
 }
 

@@ -16,6 +16,15 @@
 // instead of O(N) cost per cycle. Idle-router ticks are provably no-ops
 // (every pipeline phase early-outs on empty buffers), which the exhaustive
 // tick mode (set_exhaustive_tick_for_test) lets tests verify directly.
+//
+// Sharded parallel ticking: one cycle's router work may be split across the
+// Simulator's WorkerPool. Router ticks are pure per-router (side effects go
+// to a per-shard RouterOutbox, never to the network), so shards race on
+// nothing; the dispatching thread then drains outboxes in ascending shard —
+// hence ascending router-id — order, replaying the serial engine's exact
+// side-effect sequence. Every mode (serial, parallel, exhaustive oracle)
+// routes through the same outbox+drain path, so results are bit-identical
+// for every thread count by construction. See DESIGN.md §10.
 #pragma once
 
 #include <functional>
@@ -30,7 +39,7 @@
 
 namespace sctm::enoc {
 
-class EnocNetwork final : public noc::Network, private RouterCallbacks {
+class EnocNetwork final : public noc::Network {
  public:
   EnocNetwork(Simulator& sim, std::string name, const noc::Topology& topo,
               const EnocParams& params);
@@ -41,9 +50,20 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
   /// Session reset: routers, in-flight table, activity scoreboard and
   /// datapath counters return to freshly-constructed state with all
   /// capacity retained. Test/debug configuration (exhaustive tick mode, the
-  /// activity probe) survives. The owning Simulator must be reset first —
-  /// the self-clocking tick event lives in its queue.
+  /// activity probe, the parallel grain) survives. The owning Simulator must
+  /// be reset first — the self-clocking tick event lives in its queue.
   void reset() override;
+
+  /// In-place re-parameterization (the rebind fast path): swaps router
+  /// datapath parameters — VC counts, buffer depth, arbiter kind, routing —
+  /// without reconstructing the network, so registered stat entries and the
+  /// topology binding survive. Ends in the reset() state (the owning
+  /// Simulator must be reset alongside, as for reset()).
+  void reparameterize(const EnocParams& params);
+
+  bool partitioned_tick_supported() const override { return true; }
+  void tick_partitioned(unsigned shard, unsigned nshards) override;
+  void drain_ticks() override;
 
   const noc::Topology& topology() const { return topo_; }
   const EnocParams& params() const { return params_; }
@@ -59,8 +79,17 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
 
   /// Test hook: tick every router each cycle (the seed scheduling policy)
   /// instead of draining the active set. Behaviour must be bit-identical;
-  /// the quiescence regression test asserts it.
+  /// the quiescence regression test asserts it. Forces serial ticking (the
+  /// oracle predates sharding), but still drains through the outbox.
   void set_exhaustive_tick_for_test(bool on) { exhaustive_tick_ = on; }
+
+  /// Minimum active routers *per pool lane* before a cycle is sharded
+  /// across the worker pool; below the threshold the cycle runs serially
+  /// (bit-identical either way, so this is purely a cost knob — sharding a
+  /// near-empty cycle costs more in barriers than it saves). 0 shards every
+  /// cycle whenever a pool is installed (tests use this to exercise the
+  /// parallel path on small workloads).
+  void set_parallel_grain(unsigned grain) { parallel_grain_ = grain; }
 
   /// Order-sensitive hash over every flit hop and ejection (msg, seq, node,
   /// port, cycle). Two runs with identical datapath behaviour produce
@@ -75,18 +104,30 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
   void set_activity_probe(ActivityProbe fn) { probe_ = std::move(fn); }
 
  private:
-  // RouterCallbacks
-  void forward_flit(NodeId node, int out_dir, const Flit& flit) override;
-  void eject_flit(NodeId node, const Flit& flit) override;
-  void return_credit(NodeId node, int in_dir, int vc) override;
+  // Outbox drain handlers — exactly the serial engine's side-effect bodies,
+  // now invoked from drain_ticks() on the dispatching thread.
+  void apply_forward(NodeId node, int out_dir, const Flit& flit);
+  void apply_eject(NodeId node, const Flit& flit);
+  void apply_credit(NodeId node, int in_dir, int vc);
 
   void tick();
   void ensure_ticking();
   void mark_active(NodeId n);
+  void prepare_shards(unsigned nshards);
 
   struct PendingMsg {
     noc::Message msg;
     std::uint32_t flits_remaining = 0;
+  };
+
+  /// Per-shard tick state. Shards never touch the live scoreboard: routers
+  /// that report no work are recorded in `clear_mask` and the masks are
+  /// applied at drain — before any outbox entry, so activations fired while
+  /// draining (ejection → delivery → same-cycle reply inject) survive.
+  struct ShardState {
+    RouterOutbox outbox;
+    std::vector<std::uint64_t> clear_mask;  // sized like active_bits_
+    std::uint64_t ticks = 0;
   };
 
   noc::Topology topo_;
@@ -98,6 +139,9 @@ class EnocNetwork final : public noc::Network, private RouterCallbacks {
   FlatMap<MsgId, PendingMsg> pending_;
   /// Activity scoreboard: bit n set == router n has (or may have) work.
   std::vector<std::uint64_t> active_bits_;
+  std::vector<ShardState> shards_;
+  unsigned shards_in_use_ = 0;
+  unsigned parallel_grain_ = 2;
   std::uint64_t in_flight_ = 0;
   bool ticking_ = false;
   bool exhaustive_tick_ = false;

@@ -1,6 +1,7 @@
 #include "enoc/router.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -20,13 +21,11 @@ std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind, int width) {
 }  // namespace
 
 Router::Router(Simulator& sim, std::string name, NodeId id,
-               const noc::Topology& topo, const EnocParams& params,
-               RouterCallbacks& callbacks)
+               const noc::Topology& topo, const EnocParams& params)
     : Component(sim, std::move(name)),
       id_(id),
       topo_(topo),
       params_(params),
-      cb_(callbacks),
       ports_(topo.port_count()),
       vcount_(params.total_vcs()),
       needs_dateline_(topo.kind() != noc::Topology::Kind::kMesh),
@@ -38,25 +37,41 @@ Router::Router(Simulator& sim, std::string name, NodeId id,
       stat_va_grants_(counter("va_grants")),
       stat_rc_(counter("rc_count")) {
   params_.validate(needs_dateline_);
-  inputs_.resize(static_cast<std::size_t>(ports_) * vcount_);
-  outputs_.resize(static_cast<std::size_t>(ports_) * vcount_);
+  configure();
+}
+
+void Router::configure() {
+  const auto nvc = static_cast<std::size_t>(ports_) * vcount_;
+  inputs_.assign(nvc, InputVc{});
+  outputs_.assign(nvc, OutputVc{});
   for (auto& ivc : inputs_) {
     ivc.fifo.reserve(static_cast<std::size_t>(params_.buffer_depth));
   }
+  occ_.assign((nvc + 63) / 64, 0);
+  sa_input_arb_.clear();
+  sa_output_arb_.clear();
+  va_arb_.clear();
   for (int p = 0; p < ports_; ++p) {
-    const bool ejection = (p == topo_.local_port());
-    for (int v = 0; v < vcount_; ++v) {
-      out_vc(p, v).credits = ejection ? kInfiniteCredits : params_.buffer_depth;
-    }
     sa_input_arb_.push_back(make_arbiter(params_.arbiter, vcount_));
     sa_output_arb_.push_back(make_arbiter(params_.arbiter, ports_));
     va_arb_.push_back(make_arbiter(params_.arbiter, ports_ * vcount_));
   }
-  req_vc_.resize(static_cast<std::size_t>(vcount_));
-  req_port_.resize(static_cast<std::size_t>(ports_));
-  req_pv_.resize(static_cast<std::size_t>(ports_) * vcount_);
-  sa_nominee_.resize(static_cast<std::size_t>(ports_));
-  sa_winner_.resize(static_cast<std::size_t>(ports_));
+  req_vc_.assign(static_cast<std::size_t>(vcount_), false);
+  req_port_.assign(static_cast<std::size_t>(ports_), false);
+  req_pv_.assign(nvc, false);
+  sa_nominee_.assign(static_cast<std::size_t>(ports_), -1);
+  sa_winner_.assign(static_cast<std::size_t>(ports_), -1);
+  va_list_.reserve(nvc);
+  rc_list_.reserve(nvc);
+  sa_reexposed_.reserve(static_cast<std::size_t>(ports_));
+  reset();
+}
+
+void Router::reparameterize(const EnocParams& params) {
+  params.validate(needs_dateline_);
+  params_ = params;
+  vcount_ = params_.total_vcs();
+  configure();
 }
 
 void Router::reset() {
@@ -66,6 +81,7 @@ void Router::reset() {
     ivc.out_vc = -1;
     ivc.next_dateline = 0;
   }
+  for (auto& w : occ_) w = 0;
   for (int p = 0; p < ports_; ++p) {
     const bool ejection = (p == topo_.local_port());
     for (int v = 0; v < vcount_; ++v) {
@@ -77,6 +93,9 @@ void Router::reset() {
     sa_output_arb_[static_cast<std::size_t>(p)]->reset();
     va_arb_[static_cast<std::size_t>(p)]->reset();
   }
+  va_list_.clear();
+  rc_list_.clear();
+  sa_reexposed_.clear();
   inj_queue_.clear();
   inj_active_vc_ = -1;
   inj_active_msg_ = kInvalidMsg;
@@ -129,11 +148,13 @@ int Router::axis_of(int dir) {
 void Router::receive_flit(int in_port, Flit flit) {
   assert(in_port >= 0 && in_port < ports_);
   assert(flit.vc >= 0 && flit.vc < vcount_);
-  auto& ivc = in_vc(in_port, flit.vc);
+  const int idx = vc_index(in_port, flit.vc);
+  auto& ivc = inputs_[static_cast<std::size_t>(idx)];
   if (static_cast<int>(ivc.fifo.size()) >= params_.buffer_depth) {
     throw std::logic_error(name() + ": input buffer overflow (credit bug)");
   }
   ivc.fifo.push_back(flit);
+  mark_occupied(idx);
   ++stat_buffer_writes_;
 }
 
@@ -162,8 +183,8 @@ void Router::inject(const noc::Message& msg, std::uint32_t nflits) {
 
 bool Router::has_work() const {
   if (!inj_queue_.empty()) return true;
-  for (const auto& ivc : inputs_) {
-    if (!ivc.fifo.empty()) return true;
+  for (const std::uint64_t w : occ_) {
+    if (w != 0) return true;
   }
   return false;
 }
@@ -175,41 +196,82 @@ int Router::free_credits(int port) const {
   return total;
 }
 
-bool Router::tick() {
-  phase_switch_allocation();
+bool Router::tick(RouterOutbox& out) {
+  out_ = &out;
+  phase_fused_gather_sa();
   phase_vc_allocation();
   phase_route_compute();
   phase_injection();
+  out_ = nullptr;
   return has_work();
 }
 
-void Router::phase_switch_allocation() {
-  // Stage 1: each input port nominates one ready VC.
-  auto& nominee = sa_nominee_;  // VC index per input port
-  std::fill(nominee.begin(), nominee.end(), -1);
-  for (int p = 0; p < ports_; ++p) {
-    std::fill(req_vc_.begin(), req_vc_.end(), false);
-    bool any = false;
-    for (int v = 0; v < vcount_; ++v) {
-      const auto& ivc = in_vc(p, v);
-      if (ivc.fifo.empty() || ivc.out_port < 0 || ivc.out_vc < 0) continue;
-      const auto& ovc = outputs_[vc_index(ivc.out_port, ivc.out_vc)];
-      if (ovc.credits <= 0) continue;
-      req_vc_[static_cast<std::size_t>(v)] = true;
-      any = true;
-    }
-    if (any) nominee[static_cast<std::size_t>(p)] = sa_input_arb_[p]->grant(req_vc_);
-  }
+void Router::phase_fused_gather_sa() {
+  // Single pass over occupied VCs in ascending vc_index order — the same
+  // lexicographic (port, vc) order the full phase scans used. Each occupied
+  // VC is classified once: routed + allocated VCs become SA stage-1 requests
+  // (credit check evaluated lazily, only here), routed-unallocated VCs queue
+  // for VA, unrouted VCs queue for RC. SA reads pre-SA state by
+  // construction (this scan precedes every state change of the cycle).
+  va_list_.clear();
+  rc_list_.clear();
+  sa_reexposed_.clear();
+  std::fill(sa_nominee_.begin(), sa_nominee_.end(), -1);
 
-  // Stage 2: each output port grants one nominated input port.
+  int cur_port = -1;
+  bool cur_any = false;
+  bool any_nominee = false;
+  auto close_port = [&] {
+    if (cur_port >= 0 && cur_any) {
+      const int nom = sa_input_arb_[static_cast<std::size_t>(cur_port)]->grant(
+          req_vc_);
+      sa_nominee_[static_cast<std::size_t>(cur_port)] = nom;
+      if (nom >= 0) any_nominee = true;
+      std::fill(req_vc_.begin(), req_vc_.end(), false);
+    }
+  };
+  for (std::size_t w = 0; w < occ_.size(); ++w) {
+    std::uint64_t bits = occ_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const int idx = static_cast<int>((w << 6)) + b;
+      const int p = idx / vcount_;
+      const int v = idx % vcount_;
+      const auto& ivc = inputs_[static_cast<std::size_t>(idx)];
+      if (ivc.out_vc >= 0) {
+        // SA candidate iff the downstream buffer has a credit (lazy scan:
+        // only occupied, allocated VCs ever look at credit counters).
+        if (outputs_[vc_index(ivc.out_port, ivc.out_vc)].credits > 0) {
+          if (p != cur_port) {
+            close_port();
+            cur_port = p;
+            cur_any = false;
+          }
+          req_vc_[static_cast<std::size_t>(v)] = true;
+          cur_any = true;
+        }
+      } else if (ivc.out_port >= 0) {
+        va_list_.push_back(idx);
+      } else {
+        rc_list_.push_back(idx);
+      }
+    }
+  }
+  close_port();
+  if (!any_nominee) return;
+
+  // Stage 2: each output port grants one nominated input port (unchanged
+  // from the phase-ordered engine; nominations are at most `ports_` wide).
   auto& winner_in = sa_winner_;  // input port per output port
   std::fill(winner_in.begin(), winner_in.end(), -1);
   for (int q = 0; q < ports_; ++q) {
     std::fill(req_port_.begin(), req_port_.end(), false);
     bool any = false;
     for (int p = 0; p < ports_; ++p) {
-      if (nominee[static_cast<std::size_t>(p)] < 0) continue;
-      if (in_vc(p, nominee[static_cast<std::size_t>(p)]).out_port == q) {
+      const int nom = sa_nominee_[static_cast<std::size_t>(p)];
+      if (nom < 0) continue;
+      if (in_vc(p, nom).out_port == q) {
         req_port_[static_cast<std::size_t>(p)] = true;
         any = true;
       }
@@ -223,16 +285,18 @@ void Router::phase_switch_allocation() {
   for (int q = 0; q < ports_; ++q) {
     const int w = winner_in[static_cast<std::size_t>(q)];
     if (w >= 0) {
-      send_flit(w, nominee[static_cast<std::size_t>(w)]);
+      send_flit(w, sa_nominee_[static_cast<std::size_t>(w)]);
       ++stat_sa_grants_;
     }
   }
 }
 
 void Router::send_flit(int in_port, int in_vc_idx) {
-  auto& ivc = in_vc(in_port, in_vc_idx);
+  const int idx = vc_index(in_port, in_vc_idx);
+  auto& ivc = inputs_[static_cast<std::size_t>(idx)];
   Flit f = ivc.fifo.front();
   ivc.fifo.pop_front();
+  if (ivc.fifo.empty()) mark_vacant(idx);
   ++stat_buffer_reads_;
   ++stat_xbar_;
 
@@ -245,52 +309,62 @@ void Router::send_flit(int in_port, int in_vc_idx) {
   if (!ejecting) {
     --ovc.credits;
     ++stat_link_;
-    cb_.forward_flit(id_, out, f);
+    out_->forward(id_, out, f);
   } else {
-    cb_.eject_flit(id_, f);
+    out_->eject(id_, f);
   }
 
   if (f.is_tail) {
     ovc.busy = false;
     ivc.out_port = -1;
     ivc.out_vc = -1;
+    // The next packet's head (if buffered behind the tail) becomes an RC
+    // candidate this same cycle — the one candidate set SA can grow.
+    if (!ivc.fifo.empty()) sa_reexposed_.push_back(idx);
   }
 
   // Return a credit upstream for the slot we just freed (links only; the
   // local injection path reads buffer occupancy directly).
   if (in_port != topo_.local_port()) {
-    cb_.return_credit(id_, in_port, in_vc_idx);
+    out_->credit(id_, in_port, in_vc_idx);
   }
 }
 
 void Router::phase_vc_allocation() {
-  // One grant per output port per cycle, arbitrated over input VCs.
+  if (va_list_.empty()) return;
+  // One grant per output port per cycle, arbitrated over the gathered
+  // candidates. The candidate *set* is fixed at gather time (SA only
+  // touches allocated VCs, so it cannot add or remove routed-unallocated
+  // VCs), but busy bits are read live here — post-SA — so an output VC
+  // freed by a departing tail this cycle is grantable, exactly as in the
+  // phase-ordered engine. Gather-then-grant per output port is equivalent
+  // to the old interleaved full scan: a grant for port q touches only q's
+  // busy bits and the winner's out_vc, neither of which any other port's
+  // request set reads.
   for (int q = 0; q < ports_; ++q) {
-    auto& req = req_pv_;
-    std::fill(req.begin(), req.end(), false);
     bool any = false;
-    for (int p = 0; p < ports_; ++p) {
-      for (int v = 0; v < vcount_; ++v) {
-        const auto& ivc = in_vc(p, v);
-        if (ivc.out_port != q || ivc.out_vc >= 0 || ivc.fifo.empty()) continue;
-        // A free VC in the packet's allowed range must exist.
-        const auto [lo, hi] =
-            allowed_vcs(ivc.fifo.front().cls, ivc.next_dateline);
-        bool free_exists = false;
-        for (int ov = lo; ov < hi; ++ov) {
-          if (!outputs_[vc_index(q, ov)].busy) {
-            free_exists = true;
-            break;
-          }
+    for (const int idx : va_list_) {
+      const auto& ivc = inputs_[static_cast<std::size_t>(idx)];
+      if (ivc.out_port != q || ivc.out_vc >= 0) continue;
+      // A free VC in the packet's allowed range must exist.
+      const auto [lo, hi] = allowed_vcs(ivc.fifo.front().cls, ivc.next_dateline);
+      bool free_exists = false;
+      for (int ov = lo; ov < hi; ++ov) {
+        if (!outputs_[vc_index(q, ov)].busy) {
+          free_exists = true;
+          break;
         }
-        if (free_exists) {
-          req[static_cast<std::size_t>(p) * vcount_ + v] = true;
-          any = true;
-        }
+      }
+      if (free_exists) {
+        req_pv_[static_cast<std::size_t>(idx)] = true;
+        any = true;
       }
     }
     if (!any) continue;
-    const int g = va_arb_[q]->grant(req);
+    const int g = va_arb_[q]->grant(req_pv_);
+    for (const int idx : va_list_) {  // lazy scratch: clear only what we set
+      req_pv_[static_cast<std::size_t>(idx)] = false;
+    }
     if (g < 0) continue;
     const int p = g / vcount_;
     const int v = g % vcount_;
@@ -309,43 +383,49 @@ void Router::phase_vc_allocation() {
 }
 
 void Router::phase_route_compute() {
-  for (int p = 0; p < ports_; ++p) {
-    for (int v = 0; v < vcount_; ++v) {
-      auto& ivc = in_vc(p, v);
-      if (ivc.fifo.empty() || ivc.out_port >= 0) continue;
-      const Flit& head = ivc.fifo.front();
-      if (!head.is_head) {
-        throw std::logic_error(name() + ": body flit at unrouted VC head");
-      }
-      ++stat_rc_;
-      if (head.dst == id_) {
-        ivc.out_port = topo_.local_port();
-        ivc.next_dateline = 0;
-        continue;
-      }
-      const auto candidates = noc::route_ports(
-          topo_, params_.routing, head.src, id_, head.dst);
-      int chosen = candidates.front();
-      if (params_.adaptive && candidates.size() > 1) {
-        int best = -1;
-        for (const int c : candidates) {
-          const int fc = free_credits(c);
-          if (fc > best) {
-            best = fc;
-            chosen = c;
-          }
-        }
-      }
-      ivc.out_port = chosen;
-      if (is_wrap_link(chosen)) {
-        ivc.next_dateline = 1;
-      } else if (p != topo_.local_port() && p < topo_.radix() &&
-                 axis_of(p) != axis_of(chosen)) {
-        ivc.next_dateline = 0;  // dimension change resets the subclass
-      } else {
-        ivc.next_dateline = head.dateline;
+  for (const int idx : rc_list_) route_one(idx);
+  // VCs re-exposed by SA tail departures are routed after the gathered list
+  // rather than merge-sorted into it: RC is per-VC pure (it reads the head
+  // flit and live credit counts, which RC never modifies, and writes only
+  // that VC's route fields), so RC order across VCs is unobservable.
+  for (const int idx : sa_reexposed_) route_one(idx);
+}
+
+void Router::route_one(int idx) {
+  auto& ivc = inputs_[static_cast<std::size_t>(idx)];
+  if (ivc.fifo.empty() || ivc.out_port >= 0) return;
+  const int p = idx / vcount_;
+  const Flit& head = ivc.fifo.front();
+  if (!head.is_head) {
+    throw std::logic_error(name() + ": body flit at unrouted VC head");
+  }
+  ++stat_rc_;
+  if (head.dst == id_) {
+    ivc.out_port = topo_.local_port();
+    ivc.next_dateline = 0;
+    return;
+  }
+  const auto candidates = noc::route_ports(
+      topo_, params_.routing, head.src, id_, head.dst);
+  int chosen = candidates.front();
+  if (params_.adaptive && candidates.size() > 1) {
+    int best = -1;
+    for (const int c : candidates) {
+      const int fc = free_credits(c);
+      if (fc > best) {
+        best = fc;
+        chosen = c;
       }
     }
+  }
+  ivc.out_port = chosen;
+  if (is_wrap_link(chosen)) {
+    ivc.next_dateline = 1;
+  } else if (p != topo_.local_port() && p < topo_.radix() &&
+             axis_of(p) != axis_of(chosen)) {
+    ivc.next_dateline = 0;  // dimension change resets the subclass
+  } else {
+    ivc.next_dateline = head.dateline;
   }
 }
 

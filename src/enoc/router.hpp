@@ -10,13 +10,32 @@
 // downstream input VC. Separable switch allocation (input-first then
 // output arbitration) with per-port round-robin or matrix arbiters.
 //
+// The tick is a fused single pass over *occupied* VCs: an occupancy bitmap
+// (bit per (port, vc), maintained on every fifo push/pop) is scanned once in
+// ascending index order — the exact lexicographic (port, vc) order the
+// original phase loops used — classifying each occupied VC as an SA request
+// (routed + allocated, with a lazy downstream-credit check), a VA candidate
+// (routed, unallocated) or an RC candidate (unrouted). Arbiters are only
+// consulted for ports that actually have requests. VA and RC then evaluate
+// their gathered candidates against live post-SA state (busy bits freed by a
+// departing tail, credits consumed by this cycle's sends), which is exactly
+// what the phase-ordered full scans observed. Cost per tick is O(occupied
+// VCs), not O(ports * vcs).
+//
+// Side effects leave through a RouterOutbox instead of mutating the network
+// directly: forwarded flits, ejections and upstream credits are recorded in
+// emission order and the owning network drains them at its cycle barrier in
+// ascending router-id order — the serial visit order — which is what makes
+// sharded parallel ticking bit-identical to the serial engine (the tick
+// itself touches only router-local state).
+//
 // The datapath is allocation-free in steady state: input VCs are
 // fixed-capacity rings sized to buffer_depth, injection staging is a
-// capacity-retaining ring, allocator request/grant scratch lives in member
-// vectors sized at construction, and route computation uses the fixed
-// RoutePorts set. Ticking an idle router (has_work() == false) is a no-op —
-// the owning network exploits this with an activity scoreboard and only
-// ticks routers that hold flits.
+// capacity-retaining ring, allocator request/grant scratch and the gather
+// lists live in member vectors sized at construction, and route computation
+// uses the fixed RoutePorts set. Ticking an idle router (has_work() ==
+// false) is a no-op — the owning network exploits this with an activity
+// scoreboard and only ticks routers that hold flits.
 //
 // Deadlock discipline:
 //  * protocol: message classes are split across virtual networks,
@@ -26,6 +45,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -39,18 +59,35 @@
 
 namespace sctm::enoc {
 
-/// Callbacks into the owning network (link traversal, credits, ejection).
-class RouterCallbacks {
- public:
-  virtual ~RouterCallbacks() = default;
-  /// Flit leaves `node` through directional port `out_dir`; the network
-  /// schedules its arrival at the neighbor after link latency.
-  virtual void forward_flit(NodeId node, int out_dir, const Flit& flit) = 0;
-  /// Flit ejected at `node` (out port == local).
-  virtual void eject_flit(NodeId node, const Flit& flit) = 0;
-  /// Credit for (node's input port `in_dir`, vc) must return to the upstream
-  /// router after credit latency.
-  virtual void return_credit(NodeId node, int in_dir, int vc) = 0;
+/// Deferred router side effects for one cycle, recorded in emission order.
+/// One outbox per shard: routers of a shard append in ascending-id order, so
+/// draining shards in ascending order replays the exact side-effect sequence
+/// of the serial engine (per-router emission order interleaved at router
+/// granularity). The entry vector retains capacity across cycles.
+struct RouterOutbox {
+  struct Entry {
+    enum class Kind : std::uint8_t { kForward, kEject, kCredit };
+    Kind kind = Kind::kForward;
+    std::uint8_t port = 0;  // kForward: out_dir; kCredit: input port
+    std::int16_t vc = -1;   // kCredit: the freed VC
+    NodeId node = kInvalidNode;  // emitting router
+    Flit flit;              // kForward / kEject payload
+  };
+
+  std::vector<Entry> entries;
+
+  void forward(NodeId node, int out_dir, const Flit& f) {
+    entries.push_back({Entry::Kind::kForward, static_cast<std::uint8_t>(out_dir),
+                       -1, node, f});
+  }
+  void eject(NodeId node, const Flit& f) {
+    entries.push_back({Entry::Kind::kEject, 0, -1, node, f});
+  }
+  void credit(NodeId node, int in_dir, int vc) {
+    entries.push_back({Entry::Kind::kCredit, static_cast<std::uint8_t>(in_dir),
+                       static_cast<std::int16_t>(vc), node, Flit{}});
+  }
+  void clear() { entries.clear(); }
 };
 
 /// Growable FIFO ring of flits. Capacity is retained across drain/fill
@@ -105,13 +142,15 @@ class FlitRing {
 class Router : public Component {
  public:
   Router(Simulator& sim, std::string name, NodeId id,
-         const noc::Topology& topo, const EnocParams& params,
-         RouterCallbacks& callbacks);
+         const noc::Topology& topo, const EnocParams& params);
 
-  /// One clock cycle of the pipeline. Returns true when the router still
-  /// holds any flit afterwards (activity hint; false means every further
-  /// tick is a no-op until new work arrives).
-  bool tick();
+  /// One clock cycle of the pipeline. Side effects (forwards, ejections,
+  /// credits) are appended to `out` in emission order; nothing outside this
+  /// router is touched, so ticks of distinct routers may run concurrently.
+  /// Returns true when the router still holds any flit afterwards (activity
+  /// hint; false means every further tick is a no-op until new work
+  /// arrives).
+  bool tick(RouterOutbox& out);
 
   /// Flit arrives on input port `in_port` in VC flit.vc (link delivery or,
   /// for the local port, injection placement by inject_*).
@@ -126,10 +165,19 @@ class Router : public Component {
   void inject(const noc::Message& msg, std::uint32_t nflits);
 
   /// Session reset: restores freshly-constructed datapath state (VC fifos,
-  /// RC/VA results, credits, arbiter pointers, injection staging) without
-  /// releasing any buffer capacity. Cached stat references stay valid — the
-  /// owning simulator zeroes values via StatRegistry::zero().
+  /// RC/VA results, credits, arbiter pointers, injection staging, occupancy
+  /// bitmap) without releasing any buffer capacity. Cached stat references
+  /// stay valid — the owning simulator zeroes values via
+  /// StatRegistry::zero().
   void reset();
+
+  /// In-place re-parameterization (the rebind fast path): rebuilds the
+  /// datapath for `params` — VC count, buffer depth, arbiter kind, routing —
+  /// without reconstructing the Router, so its identity, topology binding
+  /// and registered stat entries survive. Ends in the reset() state; only
+  /// call on an idle router. May allocate (it is a reconfiguration, not a
+  /// steady-state path).
+  void reparameterize(const EnocParams& params);
 
   NodeId id() const { return id_; }
   bool has_work() const;
@@ -157,6 +205,20 @@ class Router : public Component {
   }
   OutputVc& out_vc(int port, int vc) { return outputs_[vc_index(port, vc)]; }
 
+  void mark_occupied(int idx) {
+    occ_[static_cast<std::size_t>(idx) >> 6] |=
+        std::uint64_t{1} << (idx & 63);
+  }
+  void mark_vacant(int idx) {
+    occ_[static_cast<std::size_t>(idx) >> 6] &=
+        ~(std::uint64_t{1} << (idx & 63));
+  }
+
+  /// (Re)builds every size-dependent structure for the current params_ and
+  /// leaves the router in the reset() state. Shared by the constructor and
+  /// reparameterize().
+  void configure();
+
   /// Allowed VC range [first, last) for a packet of class `cls` whose
   /// dateline subclass will be `dateline` at the downstream buffer.
   std::pair<int, int> allowed_vcs(noc::MsgClass cls, std::uint8_t dateline) const;
@@ -165,17 +227,21 @@ class Router : public Component {
   bool is_wrap_link(int out_dir) const;
   static int axis_of(int dir);
 
-  void phase_switch_allocation();
-  void phase_vc_allocation();
-  void phase_route_compute();
+  /// The fused gather-plus-SA pass: one scan over occupied VCs builds the
+  /// per-port SA request vectors (nominating via the input arbiters as each
+  /// port's bits end) and collects VA/RC candidates, then runs SA output
+  /// arbitration and the winning switch traversals.
+  void phase_fused_gather_sa();
+  void phase_vc_allocation();    // over va_list_, live post-SA busy state
+  void phase_route_compute();    // over rc_list_ + VCs re-exposed by SA tails
   void phase_injection();
+  void route_one(int idx);
 
   void send_flit(int in_port, int in_vc_idx);
 
   NodeId id_;
   noc::Topology topo_;
   EnocParams params_;
-  RouterCallbacks& cb_;
 
   int ports_;    // radix + 1 (local last)
   int vcount_;   // VCs per port
@@ -183,6 +249,10 @@ class Router : public Component {
 
   std::vector<InputVc> inputs_;    // [port][vc]
   std::vector<OutputVc> outputs_;  // [port][vc]
+
+  /// Occupancy bitmap over vc_index: bit set iff that input VC holds flits.
+  /// The tick scans set bits instead of all (port, vc) pairs.
+  std::vector<std::uint64_t> occ_;
 
   // Switch-allocation arbiters: one per input port (VC selection) and one
   // per output port (input selection).
@@ -197,6 +267,16 @@ class Router : public Component {
   std::vector<bool> req_pv_;       // [ports * vcount]
   std::vector<int> sa_nominee_;    // per input port: nominated VC
   std::vector<int> sa_winner_;     // per output port: granted input port
+
+  // Gather lists filled by the fused scan (ascending vc_index order) and a
+  // list of VCs whose tail left in SA this cycle, re-exposing the next
+  // packet's head to RC — the one candidate set SA can grow.
+  std::vector<int> va_list_;
+  std::vector<int> rc_list_;
+  std::vector<int> sa_reexposed_;
+
+  /// Outbox of the in-progress tick (valid only inside tick()).
+  RouterOutbox* out_ = nullptr;
 
   // Injection source queue + which local VC each in-progress packet streams
   // into (msg -> vc), to keep wormhole continuity at the local port.

@@ -1,0 +1,186 @@
+// Sharded-tick determinism tests for the ENoC engine.
+//
+// The claim under test (see DESIGN.md §10): splitting one cycle's router
+// work across a WorkerPool is *bit-identical* to serial ticking — same
+// activity hash, same delivery (id, timestamp) sequence, same router-tick
+// count, same kernel event count — because router ticks are pure per-router
+// (side effects go to per-shard outboxes) and the drain applies them in
+// ascending router-id order, the serial engine's exact visit order. These
+// tests drive EnocNetwork directly with pools of several sizes, with the
+// parallel grain forced to 0 so even small workloads actually shard, and
+// include the drain-ordering regression for the activity scoreboard
+// (clear masks before outbox entries, so drain-time activations survive).
+#include "enoc/enoc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace sctm::enoc {
+namespace {
+
+using noc::Message;
+using noc::MsgClass;
+using noc::Topology;
+
+Message make_msg(MsgId id, NodeId src, NodeId dst, std::uint32_t bytes) {
+  Message m;
+  m.id = id;
+  m.src = src;
+  m.dst = dst;
+  m.size_bytes = bytes;
+  m.cls = MsgClass::kData;
+  return m;
+}
+
+EnocParams small_params() {
+  EnocParams p;
+  p.vnets = 2;
+  p.vcs_per_vnet = 2;
+  p.buffer_depth = 4;
+  return p;
+}
+
+struct WorkloadResult {
+  std::uint64_t activity_hash = 0;
+  std::uint64_t router_ticks = 0;
+  std::uint64_t active_cycles = 0;
+  std::uint64_t events = 0;
+  std::vector<std::pair<MsgId, Cycle>> deliveries;
+
+  bool operator==(const WorkloadResult&) const = default;
+};
+
+/// The quiescence suite's contended workload (staggered all-to-few bursts on
+/// an 8x8 mesh), run with `threads` pool lanes. threads == 0 means no pool
+/// at all (the plain serial engine); grain 0 forces sharding whenever a pool
+/// is installed. `chain` adds a delivery-triggered same-cycle reply inject —
+/// the drain-time activation path the clear-mask ordering rule exists for.
+WorkloadResult run_workload(unsigned threads, bool exhaustive = false,
+                            bool chain = false) {
+  Simulator sim;
+  const auto topo = Topology::mesh(8, 8);
+  EnocNetwork net(sim, "enoc", topo, small_params());
+  net.set_exhaustive_tick_for_test(exhaustive);
+  net.set_parallel_grain(0);
+  std::unique_ptr<WorkerPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<WorkerPool>(threads);
+    sim.set_worker_pool(pool.get());
+  }
+  WorkloadResult out;
+  MsgId next = 1;
+  MsgId reply_next = 100000;  // distinct id space: one reply per original
+  net.set_deliver_callback([&](const Message& m) {
+    out.deliveries.emplace_back(m.id, sim.now());
+    if (chain && m.id < 100000) {
+      // Same-cycle reply from the delivering node: activates a router
+      // *while the drain is running*, after its clear mask was recorded.
+      net.inject(make_msg(reply_next++, m.dst, m.src, 32));
+    }
+  });
+  for (int burst = 0; burst < 8; ++burst) {
+    sim.schedule_in(static_cast<Cycle>(burst * 40), [&net, &next, burst] {
+      for (int i = 0; i < 12; ++i) {
+        const auto src = static_cast<NodeId>((burst * 13 + i * 5) % 64);
+        auto dst = static_cast<NodeId>((i * 17 + burst * 7 + 3) % 64);
+        if (dst == src) dst = (dst + 1) % 64;
+        net.inject(make_msg(next++, src, dst, 64 + 32 * (i % 3)));
+      }
+    });
+  }
+  sim.run();
+  out.activity_hash = net.activity_hash();
+  out.router_ticks = net.router_ticks();
+  out.active_cycles = net.active_cycles();
+  out.events = sim.events_executed();
+  return out;
+}
+
+TEST(ParallelTick, ShardedMatchesSerialBitExactly) {
+  const WorkloadResult serial = run_workload(/*threads=*/0);
+  ASSERT_EQ(serial.deliveries.size(), 96u);
+  for (const unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+    const WorkloadResult sharded = run_workload(threads);
+    EXPECT_EQ(sharded, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelTick, ShardedMatchesExhaustiveOracle) {
+  // Transitivity check against the seed tick-everything policy: the sharded
+  // engine must still produce the seed's datapath behaviour.
+  const WorkloadResult oracle = run_workload(/*threads=*/0, /*exhaustive=*/true);
+  const WorkloadResult sharded = run_workload(/*threads=*/4);
+  EXPECT_EQ(sharded.activity_hash, oracle.activity_hash);
+  EXPECT_EQ(sharded.deliveries, oracle.deliveries);
+  // ...at strictly less router work (scoreboard still gates under shards).
+  EXPECT_LT(sharded.router_ticks, oracle.router_ticks);
+}
+
+TEST(ParallelTick, DrainTimeActivationsSurviveScoreboardClears) {
+  // Regression for the drain ordering rule: all shard clear-masks apply
+  // before any outbox entry, so a router activated by a drain-time delivery
+  // (ejection -> deliver -> same-cycle reply inject) keeps its active bit.
+  // If the order were reversed, the reply's source router would be cleared
+  // and its flits stranded — the run would either deadlock (caught by the
+  // suite timeout) or lose deliveries.
+  const WorkloadResult serial =
+      run_workload(/*threads=*/0, /*exhaustive=*/false, /*chain=*/true);
+  ASSERT_EQ(serial.deliveries.size(), 192u);  // 96 originals + 96 replies
+  for (const unsigned threads : {2u, 4u}) {
+    const WorkloadResult sharded =
+        run_workload(threads, /*exhaustive=*/false, /*chain=*/true);
+    EXPECT_EQ(sharded, serial) << "threads=" << threads;
+  }
+  // And the chained workload still matches the exhaustive oracle.
+  const WorkloadResult oracle =
+      run_workload(/*threads=*/0, /*exhaustive=*/true, /*chain=*/true);
+  EXPECT_EQ(serial.activity_hash, oracle.activity_hash);
+  EXPECT_EQ(serial.deliveries, oracle.deliveries);
+}
+
+TEST(ParallelTick, ReparameterizeRebuildsDatapathInPlace) {
+  // In-place re-parameterization must behave exactly like a fresh network
+  // constructed with the new parameters.
+  Simulator sim;
+  const auto topo = Topology::mesh(4, 4);
+  EnocNetwork net(sim, "enoc", topo, small_params());
+  std::vector<std::pair<MsgId, Cycle>> got;
+  net.set_deliver_callback(
+      [&](const Message& m) { got.emplace_back(m.id, sim.now()); });
+  net.inject(make_msg(1, 0, 15, 96));
+  net.inject(make_msg(2, 5, 10, 64));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+
+  EnocParams wide = small_params();
+  wide.vcs_per_vnet = 4;  // resizes every per-VC structure
+  wide.buffer_depth = 2;
+  wide.arbiter = ArbiterKind::kMatrix;
+  sim.reset();
+  net.reparameterize(wide);
+  got.clear();
+  net.inject(make_msg(1, 0, 15, 96));
+  net.inject(make_msg(2, 5, 10, 64));
+  sim.run();
+  const auto reparam = got;
+  const auto reparam_hash = net.activity_hash();
+
+  Simulator fresh_sim;
+  EnocNetwork fresh(fresh_sim, "enoc", topo, wide);
+  got.clear();
+  fresh.set_deliver_callback(
+      [&](const Message& m) { got.emplace_back(m.id, fresh_sim.now()); });
+  fresh.inject(make_msg(1, 0, 15, 96));
+  fresh.inject(make_msg(2, 5, 10, 64));
+  fresh_sim.run();
+
+  EXPECT_EQ(reparam, got);
+  EXPECT_EQ(reparam_hash, fresh.activity_hash());
+}
+
+}  // namespace
+}  // namespace sctm::enoc
