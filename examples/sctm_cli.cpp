@@ -36,6 +36,7 @@
 
 #include "common/config.hpp"
 #include "common/json.hpp"
+#include "common/parallel.hpp"
 #include "common/run_metrics.hpp"
 #include "common/table.hpp"
 #include "core/driver.hpp"
@@ -226,7 +227,8 @@ core::ReplayConfig replay_cfg_from(const std::map<std::string, std::string>& f) 
   if (const auto it = f.find("iters-max"); it != f.end()) {
     cfg.max_iterations = std::stoi(it->second);
   }
-  // Sharded-tick worker count (0 = one per hardware thread). Results are
+  // Sharded-tick worker count: 1 (the ReplayConfig default) = serial, 0 =
+  // one lane per hardware thread via resolve_threads(). Results are
   // bit-identical for any value; `replay` also accepts the shorter
   // --threads, while `explore` reserves that name for candidate workers.
   if (const auto it = f.find("tick-threads"); it != f.end()) {
@@ -354,7 +356,13 @@ int cmd_explore(const std::map<std::string, std::string>& f) {
     m.manifest.set("trace", core::trace_id(trace));
     m.manifest.set("candidates", static_cast<std::int64_t>(candidates.size()));
     m.manifest.set("mode", core::to_string(cfg.mode));
-    m.manifest.set("threads", static_cast<std::int64_t>(threads));
+    // Resolved thread counts (S2): `0 = hardware` resolves through the one
+    // resolve_threads() convention, so the manifest records the lane counts
+    // the run actually used — candidate workers and per-session tick lanes.
+    m.manifest.set("explore_workers",
+                   static_cast<std::int64_t>(resolve_threads(threads)));
+    m.manifest.set("tick_threads",
+                   static_cast<std::int64_t>(resolve_threads(cfg.threads)));
     JsonWriter results_json;
     results_json.begin_object();
     results_json.key("ranking");

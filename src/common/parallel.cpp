@@ -8,14 +8,17 @@ unsigned default_parallelism() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+unsigned resolve_threads(unsigned requested) {
+  return requested == 0 ? default_parallelism() : std::max(1u, requested);
+}
+
 namespace detail {
 
 void parallel_for_impl(std::size_t n, void (*thunk)(void*, std::size_t),
                        void* ctx, unsigned threads) {
   if (n == 0) return;
-  if (threads == 0) threads = default_parallelism();
   threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, n));
+      std::min<std::size_t>(resolve_threads(threads), n));
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) thunk(ctx, i);
     return;
@@ -59,9 +62,7 @@ constexpr int kYieldIters = 64;
 
 }  // namespace
 
-WorkerPool::WorkerPool(unsigned threads)
-    : lanes_(threads == 0 ? default_parallelism() : threads) {
-  if (lanes_ < 1) lanes_ = 1;
+WorkerPool::WorkerPool(unsigned threads) : lanes_(resolve_threads(threads)) {
   threads_.reserve(lanes_ - 1);
   for (unsigned lane = 1; lane < lanes_; ++lane) {
     threads_.emplace_back([this, lane] { worker_loop(lane); });

@@ -40,6 +40,13 @@ namespace sctm {
 /// concurrency, at least 1).
 unsigned default_parallelism();
 
+/// The one thread-count convention for every `--threads`-style knob:
+/// 0 resolves to default_parallelism(), anything else is taken literally
+/// (clamped to >= 1). WorkerPool, parallel_for, explore() workers and the
+/// run-metrics manifests all resolve through here, so "0 = hardware" means
+/// the same lane count everywhere.
+unsigned resolve_threads(unsigned requested);
+
 namespace detail {
 void parallel_for_impl(std::size_t n, void (*thunk)(void*, std::size_t),
                        void* ctx, unsigned threads);

@@ -204,9 +204,7 @@ RunMetrics replay_metrics_impl(std::string trace_ident, std::int32_t nodes,
   }
   // Resolved tick-thread count (0 = hardware) — recorded for provenance even
   // though results are thread-count invariant by construction.
-  m.manifest.set("tick_threads",
-                 std::uint64_t{config.threads == 0 ? default_parallelism()
-                                                   : config.threads});
+  m.manifest.set("tick_threads", std::uint64_t{resolve_threads(config.threads)});
   m.add_phases(run.phases);
   m.set_stats(run.result.stats);
   m.add_histogram("latency", run.result.latency_histogram());

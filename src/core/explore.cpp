@@ -68,9 +68,10 @@ std::vector<ExploreResult> explore(const trace::Trace& trace,
       out[i].name = candidates[i].name;
     }
   } else {
-    unsigned n = threads == 0 ? default_parallelism() : threads;
-    n = static_cast<unsigned>(
-        std::min<std::size_t>(n, candidates.size()));
+    // Same `--threads 0` resolution as WorkerPool lane counts (S2: one
+    // convention everywhere), then clamped to the available work.
+    unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(resolve_threads(threads), candidates.size()));
     std::atomic<std::size_t> next{0};
     if (n <= 1) {
       evaluate_candidates(rt, candidates, config, next, out);

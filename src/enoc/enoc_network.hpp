@@ -89,7 +89,7 @@ class EnocNetwork final : public noc::Network {
   /// near-empty cycle costs more in barriers than it saves). 0 shards every
   /// cycle whenever a pool is installed (tests use this to exercise the
   /// parallel path on small workloads).
-  void set_parallel_grain(unsigned grain) { parallel_grain_ = grain; }
+  void set_parallel_grain(unsigned grain) override { parallel_grain_ = grain; }
 
   /// Order-sensitive hash over every flit hop and ejection (msg, seq, node,
   /// port, cycle). Two runs with identical datapath behaviour produce

@@ -81,6 +81,15 @@ class Network : public Component {
   /// calls, in ascending shard order, on the event-dispatching thread.
   virtual void drain_ticks() {}
 
+  /// Minimum work items *per pool lane* before a cycle is sharded across the
+  /// worker pool (ENoC: active routers; ONoC: queued arbitration requests).
+  /// Below the threshold the cycle runs serially — bit-identical either way,
+  /// so this is purely a cost knob. 0 shards every cycle whenever a pool is
+  /// installed (tests use this to exercise the parallel path on small
+  /// workloads). Backends without a partitioned tick ignore it; composites
+  /// (Hybrid) forward it to every layer.
+  virtual void set_parallel_grain(unsigned grain) { (void)grain; }
+
   // -------------------------------------------------------------------------
 
   std::uint64_t injected_count() const { return injected_; }

@@ -1,6 +1,9 @@
 #include "onoc/onoc_network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/parallel.hpp"
 
 namespace sctm::onoc {
 
@@ -22,8 +25,10 @@ OnocNetwork::OnocNetwork(Simulator& sim, std::string name,
     for (int i = 0; i < topo_.node_count(); ++i) {
       tokens_.emplace_back(topo_.node_count(), params_.token_hop_latency);
     }
+    arb_chan_.resize(static_cast<std::size_t>(topo_.node_count()));
   } else if (params_.arbitration == Arbitration::kSwmr) {
     src_channel_free_.assign(static_cast<std::size_t>(topo_.node_count()), 0);
+    arb_chan_.resize(static_cast<std::size_t>(topo_.node_count()));
   } else if (params_.arbitration == Arbitration::kSharedPool) {
     if (params_.pool_channels < 1) {
       throw std::invalid_argument(this->name() + ": pool_channels must be >= 1");
@@ -45,6 +50,13 @@ void OnocNetwork::reset() {
   for (auto& ring : tokens_) ring.reset();
   for (auto& c : src_channel_free_) c = 0;
   for (auto& c : pool_free_) c = 0;
+  // Arbitration queues: the flush event (if any) died with the simulator's
+  // queue reset; drop whatever it would have served, capacity retained.
+  for (auto& reqs : arb_chan_) reqs.clear();
+  for (auto& s : arb_shards_) s.grants.clear();
+  arb_shards_in_use_ = 0;
+  arb_queued_ = 0;
+  arb_scheduled_ = false;
   if (ctrl_) ctrl_->reset();
   for (auto& r : receivers_) {
     r.busy = false;
@@ -88,22 +100,16 @@ void OnocNetwork::inject(noc::Message msg) {
   }
 
   if (params_.arbitration == Arbitration::kTokenRing) {
-    auto& ring = tokens_[static_cast<std::size_t>(msg.dst)];
-    const Cycle ser = params_.ser_cycles(msg.size_bytes);
-    const Cycle hold = ser + params_.guard_cycles;
-    const Cycle grant = ring.acquire(msg.src, sim().now(), hold);
-    stat_arb_wait_.add(static_cast<double>(grant - sim().now()));
-    sim().schedule_at(grant, [this, msg]() mutable { start_transmission(msg); });
+    // Per-channel arbitration defers to the cycle's late-band flush so it
+    // can shard across channels; the grant values are what the immediate
+    // acquire would have produced (same cycle, same per-channel order).
+    queue_arbitration(msg, msg.dst);
     return;
   }
 
   if (params_.arbitration == Arbitration::kSwmr) {
     // The source's own channel is the only shared resource.
-    auto& free_at = src_channel_free_[static_cast<std::size_t>(msg.src)];
-    const Cycle start = free_at > sim().now() ? free_at : sim().now();
-    free_at = start + params_.ser_cycles(msg.size_bytes) + params_.guard_cycles;
-    stat_arb_wait_.add(static_cast<double>(start - sim().now()));
-    sim().schedule_at(start, [this, msg]() mutable { start_transmission(msg); });
+    queue_arbitration(msg, msg.src);
     return;
   }
 
@@ -130,6 +136,88 @@ void OnocNetwork::inject(noc::Message msg) {
   const std::uint64_t pid = next_pending_id_++;
   pending_.insert(pid, Pending{msg});
   send_ctrl(CtrlKind::kSetup, msg.src, msg.dst, pid);
+}
+
+void OnocNetwork::queue_arbitration(const noc::Message& msg, NodeId channel) {
+  arb_chan_[static_cast<std::size_t>(channel)].push_back(msg);
+  ++arb_queued_;
+  if (!arb_scheduled_) {
+    arb_scheduled_ = true;
+    auto flush = [this] { arb_flush(); };
+    static_assert(InlineFn::fits_inline<decltype(flush)>());
+    sim().schedule_late(sim().now(), std::move(flush));
+  }
+}
+
+// One flush per cycle with queued requests. All of the cycle's deliveries
+// (and hence any same-cycle re-injections from the replay engine's late
+// flush) either landed before this event or reschedule it — the late band
+// keeps draining until empty, so no request waits a cycle.
+void OnocNetwork::arb_flush() {
+  arb_scheduled_ = false;
+  unsigned nshards = 1;
+  WorkerPool* pool = sim().worker_pool();
+  if (pool != nullptr && pool->size() > 1 &&
+      arb_queued_ >=
+          static_cast<std::size_t>(parallel_grain_) * pool->size()) {
+    nshards = std::min(pool->size(), static_cast<unsigned>(arb_chan_.size()));
+  }
+  if (arb_shards_.size() < nshards) arb_shards_.resize(nshards);
+  arb_shards_in_use_ = nshards;
+  if (nshards > 1) {
+    pool->run([this, nshards](unsigned lane) {
+      if (lane < nshards) tick_partitioned(lane, nshards);
+    });
+  } else {
+    tick_partitioned(0, 1);
+  }
+  drain_ticks();
+}
+
+void OnocNetwork::tick_partitioned(unsigned shard, unsigned nshards) {
+  const std::size_t n = arb_chan_.size();
+  const std::size_t lo = n * shard / nshards;
+  const std::size_t hi = n * (shard + 1) / nshards;
+  ArbShard& st = arb_shards_[shard];
+  const Cycle t = sim().now();  // every queued request shares this cycle
+  for (std::size_t c = lo; c < hi; ++c) {
+    std::vector<noc::Message>& reqs = arb_chan_[c];
+    if (reqs.empty()) continue;
+    if (params_.arbitration == Arbitration::kTokenRing) {
+      TokenRing& ring = tokens_[c];
+      for (const noc::Message& m : reqs) {
+        const Cycle hold =
+            params_.ser_cycles(m.size_bytes) + params_.guard_cycles;
+        const Cycle grant = ring.acquire(m.src, t, hold);
+        st.grants.push_back({m, grant, grant - t});
+      }
+    } else {
+      Cycle& free_at = src_channel_free_[c];
+      for (const noc::Message& m : reqs) {
+        const Cycle start = free_at > t ? free_at : t;
+        free_at =
+            start + params_.ser_cycles(m.size_bytes) + params_.guard_cycles;
+        st.grants.push_back({m, start, start - t});
+      }
+    }
+    reqs.clear();
+  }
+}
+
+void OnocNetwork::drain_ticks() {
+  for (unsigned s = 0; s < arb_shards_in_use_; ++s) {
+    ArbShard& st = arb_shards_[s];
+    for (const Grant& g : st.grants) {
+      stat_arb_wait_.add(static_cast<double>(g.wait));
+      const noc::Message msg = g.msg;
+      auto ev = [this, msg]() mutable { start_transmission(msg); };
+      static_assert(InlineFn::fits_inline<decltype(ev)>());
+      sim().schedule_at(g.start, std::move(ev));
+    }
+    st.grants.clear();
+  }
+  arb_shards_in_use_ = 0;
+  arb_queued_ = 0;
 }
 
 void OnocNetwork::start_transmission(noc::Message msg) {

@@ -16,6 +16,18 @@
 //
 // The data plane is event-driven (no per-cycle clock): an idle ONOC costs
 // zero events, so trace replay over it is fast.
+//
+// Channel-sharded arbitration: token-ring and SWMR arbitration are
+// *per-channel independent* — one TokenRing per receive channel, one busy
+// horizon per source channel — so a cycle's requests can be arbitrated in
+// parallel. inject() queues the request on its channel and schedules one
+// late-band flush per cycle; the flush shards contiguous channel ranges
+// across the Simulator's WorkerPool (grants recorded into per-shard
+// outboxes, never scheduled from a lane) and then drains the outboxes in
+// ascending shard — hence ascending channel — order on the dispatching
+// thread. Serial and sharded flushes walk channels in the same ascending
+// order through the same code path, so grant times, stat order and event
+// scheduling are bit-identical at any lane count. See DESIGN.md §10.
 #pragma once
 
 #include <deque>
@@ -47,6 +59,15 @@ class OnocNetwork : public noc::Network {
   /// The owning Simulator must be reset first.
   void reset() override;
 
+  /// Token-ring and SWMR arbitration shard per receive/source channel.
+  bool partitioned_tick_supported() const override {
+    return params_.arbitration == Arbitration::kTokenRing ||
+           params_.arbitration == Arbitration::kSwmr;
+  }
+  void tick_partitioned(unsigned shard, unsigned nshards) override;
+  void drain_ticks() override;
+  void set_parallel_grain(unsigned grain) override { parallel_grain_ = grain; }
+
   const OnocParams& params() const { return params_; }
   const noc::Topology& topology() const { return topo_; }
 
@@ -70,6 +91,8 @@ class OnocNetwork : public noc::Network {
   void on_ctrl_deliver(const noc::Message& ctrl);
   void send_ctrl(CtrlKind kind, NodeId from, NodeId to, std::uint64_t pending_id);
   void receiver_freed(NodeId dst);
+  void queue_arbitration(const noc::Message& msg, NodeId channel);
+  void arb_flush();
 
   noc::Topology topo_;
   OnocParams params_;
@@ -79,6 +102,29 @@ class OnocNetwork : public noc::Network {
 
   // SWMR mode: per-source channel busy horizon.
   std::vector<Cycle> src_channel_free_;
+
+  /// One granted request: externally visible effects (the arb-wait stat add
+  /// and the transmission-start event) recorded by a shard, applied at
+  /// drain. Shards only read channel state they own, so this is the only
+  /// crossing point.
+  struct Grant {
+    noc::Message msg;
+    Cycle start = 0;
+    Cycle wait = 0;
+  };
+  struct ArbShard {
+    std::vector<Grant> grants;
+  };
+
+  /// Per-channel request queues for the current cycle (token: keyed by dst,
+  /// SWMR: keyed by src), in arrival order — exactly the per-channel
+  /// subsequence of the old immediate-acquire call order. Capacity retained.
+  std::vector<std::vector<noc::Message>> arb_chan_;
+  std::vector<ArbShard> arb_shards_;
+  unsigned arb_shards_in_use_ = 0;
+  std::size_t arb_queued_ = 0;  // requests queued this cycle (grain input)
+  bool arb_scheduled_ = false;
+  unsigned parallel_grain_ = 2;
 
   // Shared-pool mode: busy horizon per pooled channel.
   std::vector<Cycle> pool_free_;

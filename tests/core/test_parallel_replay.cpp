@@ -1,11 +1,14 @@
 // Determinism matrix for parallel replay: a ReplaySession with any worker
 // thread count must produce bit-identical results — full schedules, derived
 // runtime, kernel event counts AND the complete final stat registry — on
-// every network kind. The ENoC shards its cycles across the pool (grain
-// forced to 0 so sharding engages even on this small trace); the ONoC and
-// Hybrid backends take the serial-fallback contract, and the Hybrid's
-// embedded electrical control plane shards like any other EnocNetwork. The
-// matrix also pins the in-place rebind fast path against fresh construction.
+// every network kind. Every per-phase grain is forced to 0 so every
+// shardable phase actually shards on this small trace: the ENoC router
+// tick, the ONoC channel arbitration (token and SWMR; hybrid shards both
+// planes), the session's seed scan, the per-cycle delivered-dependency
+// scan, the eligibility-batch sort, and the iterative bound/residual
+// recompute. The matrix also pins the in-place rebind fast path against
+// fresh construction, and the ReplayConfig::threads convention (1 = serial
+// default, 0 = hardware) against resolve_threads().
 #include "core/replay_session.hpp"
 
 #include <gtest/gtest.h>
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "core/driver.hpp"
 #include "enoc/enoc_network.hpp"
 
@@ -69,9 +73,7 @@ MatrixRun run_with_threads(NetKind kind, unsigned threads) {
   ReplayConfig cfg;
   cfg.threads = threads;
   ReplaySession session(rt, spec_of(kind), cfg);
-  if (auto* enoc = dynamic_cast<enoc::EnocNetwork*>(&session.network())) {
-    enoc->set_parallel_grain(0);  // shard every cycle, however sparse
-  }
+  session.set_parallel_grains_for_test(0);  // shard every phase, every cycle
   session.run();
   MatrixRun out;
   out.stats_report = session.result().stats.report();
@@ -105,6 +107,77 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, ParallelReplayMatrix,
                            }
                            return name;
                          });
+
+// --- Sharded eligibility / dispatch phases --------------------------------
+
+// The session's own sharded phases (seed scan, delivered-dependency scan,
+// batch sort, bound/residual recompute) must be bit-identical to serial
+// independent of the network's tick sharding: run the ENoC with its tick
+// grain left at the default (so small cycles tick serially) while the
+// session grains are forced to 0 — only the replay-engine phases shard.
+TEST(ShardedEligibility, SessionPhasesAloneAreBitIdenticalToSerial) {
+  const ReplayTrace& rt = shared_rt();
+  ReplayConfig serial_cfg;
+  ReplaySession serial(rt, spec_of(NetKind::kEnoc), serial_cfg);
+  serial.run();
+  const std::string serial_stats = serial.result().stats.report();
+
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    ReplayConfig cfg;
+    cfg.threads = threads;
+    ReplaySession session(rt, spec_of(NetKind::kEnoc), cfg);
+    session.set_parallel_grains_for_test(0);
+    session.network().set_parallel_grain(2);  // network: default adaptive
+    session.run();
+    const std::string what = "threads=" + std::to_string(threads);
+    EXPECT_EQ(session.result().inject_time, serial.result().inject_time)
+        << what;
+    EXPECT_EQ(session.result().arrive_time, serial.result().arrive_time)
+        << what;
+    EXPECT_EQ(session.result().events, serial.result().events) << what;
+    EXPECT_EQ(session.result().stats.report(), serial_stats) << what;
+  }
+}
+
+// Truncated-window iterative refinement exercises the sharded bound and
+// residual recomputes between passes; the trajectory (iteration count and
+// per-pass residuals) must match serial exactly.
+TEST(ShardedEligibility, IterativeRefinementMatchesSerial) {
+  const ReplayTrace& rt = shared_rt();
+  ReplayConfig base;
+  base.dependency_window = 1;  // truncate so run() actually iterates
+  ReplaySession serial(rt, spec_of(NetKind::kEnoc), base);
+  serial.run();
+
+  ReplayConfig cfg = base;
+  cfg.threads = 4;
+  ReplaySession sharded(rt, spec_of(NetKind::kEnoc), cfg);
+  sharded.set_parallel_grains_for_test(0);
+  sharded.run();
+
+  EXPECT_EQ(sharded.result().iterations, serial.result().iterations);
+  EXPECT_EQ(sharded.result().residual, serial.result().residual);
+  EXPECT_EQ(sharded.result().inject_time, serial.result().inject_time);
+  ASSERT_EQ(sharded.result().iteration_log.size(),
+            serial.result().iteration_log.size());
+  for (std::size_t i = 0; i < serial.result().iteration_log.size(); ++i) {
+    EXPECT_EQ(sharded.result().iteration_log[i].residual,
+              serial.result().iteration_log[i].residual)
+        << "pass " << i;
+  }
+}
+
+// The ReplayConfig::threads convention (asserted per the doc in
+// replay.hpp): default 1 = serial, 0 = one lane per hardware thread, and
+// every `0 = hardware` knob resolves through the same resolve_threads().
+TEST(ShardedEligibility, ThreadsConventionIsSerialDefaultZeroHardware) {
+  EXPECT_EQ(ReplayConfig{}.threads, 1u);
+  EXPECT_EQ(resolve_threads(0), default_parallelism());
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+  EXPECT_EQ(WorkerPool(0).size(), default_parallelism());
+  EXPECT_EQ(WorkerPool(3).size(), 3u);
+}
 
 // --- In-place rebind fast path -------------------------------------------
 

@@ -1,0 +1,173 @@
+// Channel-sharded arbitration determinism tests for the optical plane.
+//
+// The claim under test (see DESIGN.md §10): sharding a cycle's queued
+// arbitration requests across a WorkerPool by contiguous channel range is
+// *bit-identical* to the serial flush — same delivery (id, timestamp)
+// sequence, same kernel event count, same full stat registry — because each
+// TokenRing / SWMR busy horizon is owned by exactly one channel, grants are
+// recorded into per-shard outboxes, and the drain applies them in ascending
+// shard (hence ascending channel) order, which is the serial flush's exact
+// walk. These tests drive OnocNetwork (token and SWMR arbitration) and the
+// HybridNetwork (both planes sharding independently over one shared pool)
+// directly with pools of several sizes, grain forced to 0 so even small
+// cycles shard, on a contended many-writers-per-channel workload.
+#include "onoc/onoc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "onoc/hybrid_network.hpp"
+
+namespace sctm::onoc {
+namespace {
+
+using noc::Message;
+using noc::MsgClass;
+using noc::Topology;
+
+enum class Net { kToken, kSwmr, kHybrid };
+
+const char* name_of(Net n) {
+  switch (n) {
+    case Net::kToken: return "token";
+    case Net::kSwmr: return "swmr";
+    case Net::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+Message make_msg(MsgId id, NodeId src, NodeId dst, std::uint32_t bytes) {
+  Message m;
+  m.id = id;
+  m.src = src;
+  m.dst = dst;
+  m.size_bytes = bytes;
+  m.cls = MsgClass::kData;
+  return m;
+}
+
+struct WorkloadResult {
+  std::uint64_t events = 0;
+  std::string stats_report;
+  std::vector<std::pair<MsgId, Cycle>> deliveries;
+
+  bool operator==(const WorkloadResult&) const = default;
+};
+
+/// Contended workload: staggered bursts on an 8x8 mesh where many writers
+/// target few receive channels in the same cycle (token mode arbitrates per
+/// dst, SWMR per src — the burst pattern loads both keyings; the hybrid's
+/// size mix steers part of each burst to each plane). threads == 0 means no
+/// pool at all; grain 0 shards whenever a pool is installed. `chain` adds a
+/// delivery-triggered same-cycle reply inject, which must re-arm the
+/// late-band arbitration flush within the delivery cycle.
+WorkloadResult run_workload(Net which, unsigned threads, bool chain = false) {
+  Simulator sim;
+  const auto topo = Topology::mesh(8, 8);
+  std::unique_ptr<noc::Network> net;
+  switch (which) {
+    case Net::kToken: {
+      OnocParams p;
+      p.arbitration = Arbitration::kTokenRing;
+      net = std::make_unique<OnocNetwork>(sim, "onoc", topo, p);
+      break;
+    }
+    case Net::kSwmr: {
+      OnocParams p;
+      p.arbitration = Arbitration::kSwmr;
+      net = std::make_unique<OnocNetwork>(sim, "onoc", topo, p);
+      break;
+    }
+    case Net::kHybrid: {
+      net = std::make_unique<HybridNetwork>(sim, "hybrid", topo,
+                                            HybridParams{});
+      break;
+    }
+  }
+  EXPECT_TRUE(net->partitioned_tick_supported());
+  net->set_parallel_grain(0);
+  std::unique_ptr<WorkerPool> pool;
+  if (threads > 0) {
+    pool = std::make_unique<WorkerPool>(threads);
+    sim.set_worker_pool(pool.get());
+  }
+  WorkloadResult out;
+  MsgId next = 1;
+  MsgId reply_next = 100000;  // distinct id space: one reply per original
+  net->set_deliver_callback([&](const Message& m) {
+    out.deliveries.emplace_back(m.id, sim.now());
+    if (chain && m.id < 100000) {
+      net->inject(make_msg(reply_next++, m.dst, m.src, 48));
+    }
+  });
+  for (int burst = 0; burst < 6; ++burst) {
+    sim.schedule_in(static_cast<Cycle>(burst * 50), [&net, &next, burst] {
+      for (int i = 0; i < 16; ++i) {
+        // Many writers, four hot receive channels; a few hot sources too.
+        const auto src = static_cast<NodeId>((burst * 11 + i * 3) % 64);
+        auto dst = static_cast<NodeId>((burst + i % 4) * 9 % 64);
+        if (dst == src) dst = (dst + 1) % 64;
+        net->inject(make_msg(next++, src, dst, 32 + 24 * (i % 4)));
+      }
+    });
+  }
+  sim.run();
+  out.events = sim.events_executed();
+  out.stats_report = sim.stats().report();
+  return out;
+}
+
+class ParallelArb : public ::testing::TestWithParam<Net> {};
+
+TEST_P(ParallelArb, ShardedMatchesSerialBitExactly) {
+  const WorkloadResult serial = run_workload(GetParam(), /*threads=*/0);
+  ASSERT_EQ(serial.deliveries.size(), 96u);
+  for (const unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+    const WorkloadResult sharded = run_workload(GetParam(), threads);
+    EXPECT_EQ(sharded.deliveries, serial.deliveries)
+        << "threads=" << threads;
+    EXPECT_EQ(sharded.events, serial.events) << "threads=" << threads;
+    EXPECT_EQ(sharded.stats_report, serial.stats_report)
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ParallelArb, DeliveryChainedInjectsStayBitExact) {
+  // A reply injected from the deliver callback queues arbitration in the
+  // delivery cycle after that cycle's flush already ran; the re-armed flush
+  // must behave identically under sharding.
+  const WorkloadResult serial =
+      run_workload(GetParam(), /*threads=*/0, /*chain=*/true);
+  ASSERT_EQ(serial.deliveries.size(), 192u);  // originals + replies
+  for (const unsigned threads : {2u, 4u}) {
+    const WorkloadResult sharded =
+        run_workload(GetParam(), threads, /*chain=*/true);
+    EXPECT_EQ(sharded, serial) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OpticalPlanes, ParallelArb,
+                         ::testing::Values(Net::kToken, Net::kSwmr,
+                                           Net::kHybrid),
+                         [](const auto& info) {
+                           return std::string(name_of(info.param));
+                         });
+
+// Path-setup arbitration is a distributed protocol over the electrical
+// control mesh, not a per-channel computation — it takes the serial-fallback
+// contract and must say so.
+TEST(ParallelArb, PathSetupDeclinesPartitioning) {
+  Simulator sim;
+  OnocParams p;
+  p.arbitration = Arbitration::kPathSetup;
+  OnocNetwork net(sim, "onoc", Topology::mesh(4, 4), p);
+  EXPECT_FALSE(net.partitioned_tick_supported());
+}
+
+}  // namespace
+}  // namespace sctm::onoc

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
 
 namespace sctm::onoc {
 namespace {
@@ -81,6 +84,112 @@ TEST(TokenRing, GrantNeverBeforeRequest) {
     const Cycle g = ring.acquire(s, t, 3);
     EXPECT_GE(g, t);
     t += 5;
+  }
+}
+
+// --- Property tests --------------------------------------------------------
+
+// Naive O(n)-scan reference for TokenRing::acquire: instead of the analytic
+// position/distance arithmetic, step the idle token one hop at a time from
+// the channel-free instant until it reaches the requester. Any divergence
+// between the closed form and this literal walk is a modelling bug.
+struct NaiveRing {
+  int nodes;
+  Cycle hop;
+  NodeId pos = 0;
+  Cycle free_at = 0;
+
+  Cycle acquire(NodeId s, Cycle t, Cycle hold) {
+    const Cycle t0 = t > free_at ? t : free_at;
+    // Walk the idle rotation up to t0 (whole hops only)...
+    Cycle clock = free_at;
+    NodeId p = pos;
+    while (clock + hop <= t0) {
+      clock += hop;
+      p = static_cast<NodeId>((p + 1) % nodes);
+    }
+    // ...then keep walking until the token is at the requester.
+    Cycle grant = t0;
+    while (p != s) {
+      grant += hop;
+      p = static_cast<NodeId>((p + 1) % nodes);
+    }
+    pos = s;
+    free_at = grant + hold;
+    return grant;
+  }
+};
+
+/// One randomized acquire request: requester, non-decreasing time, hold.
+struct Req {
+  NodeId s;
+  Cycle t;
+  Cycle hold;
+};
+
+std::vector<Req> random_sequence(Rng& rng, int nodes, int len) {
+  std::vector<Req> seq;
+  seq.reserve(static_cast<std::size_t>(len));
+  Cycle t = 0;
+  for (int i = 0; i < len; ++i) {
+    t += static_cast<Cycle>(rng.next_below(9));  // gaps of 0..8 (repeats too)
+    seq.push_back({static_cast<NodeId>(rng.next_below(
+                       static_cast<std::uint64_t>(nodes))),
+                   t, static_cast<Cycle>(rng.next_range(1, 12))});
+  }
+  return seq;
+}
+
+// Differential property: for randomized request sequences across ring sizes
+// and hop latencies, the analytic acquire must grant exactly what the naive
+// token-walk reference grants, request by request.
+TEST(TokenRingProperty, RandomizedSequencesMatchNaiveReference) {
+  Rng rng(0x70c37);
+  for (const int nodes : {1, 2, 3, 8, 16, 61}) {
+    for (const Cycle hop : {Cycle{1}, Cycle{2}, Cycle{7}}) {
+      TokenRing ring(nodes, hop);
+      NaiveRing naive{nodes, hop};
+      const auto seq = random_sequence(rng, nodes, 300);
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        const Cycle got = ring.acquire(seq[i].s, seq[i].t, seq[i].hold);
+        const Cycle want = naive.acquire(seq[i].s, seq[i].t, seq[i].hold);
+        ASSERT_EQ(got, want) << "nodes=" << nodes << " hop=" << hop
+                             << " req=" << i << " s=" << seq[i].s
+                             << " t=" << seq[i].t << " hold=" << seq[i].hold;
+        ASSERT_EQ(ring.free_at(), naive.free_at) << "req " << i;
+      }
+    }
+  }
+}
+
+// Session-reset property: replaying any request sequence after reset() must
+// grant bit-identically to both the first run and a freshly constructed
+// ring — reset() is exactly the constructed state for the same (nodes, hop).
+TEST(TokenRingProperty, ResetReplayIsBitIdenticalToFreshRing) {
+  Rng rng(0x53537);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nodes = static_cast<int>(rng.next_range(1, 24));
+    const Cycle hop = static_cast<Cycle>(rng.next_range(1, 5));
+    const auto seq = random_sequence(rng, nodes, 200);
+
+    TokenRing ring(nodes, hop);
+    std::vector<Cycle> first;
+    first.reserve(seq.size());
+    for (const Req& r : seq) first.push_back(ring.acquire(r.s, r.t, r.hold));
+
+    ring.reset();
+    TokenRing fresh(nodes, hop);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const Req& r = seq[i];
+      const Cycle replayed = ring.acquire(r.s, r.t, r.hold);
+      ASSERT_EQ(replayed, first[i]) << "trial " << trial << " req " << i;
+      ASSERT_EQ(replayed, fresh.acquire(r.s, r.t, r.hold))
+          << "trial " << trial << " req " << i;
+      ASSERT_EQ(ring.free_at(), fresh.free_at()) << "trial " << trial;
+    }
+    EXPECT_EQ(ring.grants(), fresh.grants());
+    EXPECT_EQ(ring.position_at(seq.back().t + 1000),
+              fresh.position_at(seq.back().t + 1000));
   }
 }
 

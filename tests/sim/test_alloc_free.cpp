@@ -280,7 +280,9 @@ TEST(AllocFreeKernel, ShardedTickSteadyStateIsAllocationFree) {
   core::ReplayConfig cfg;
   cfg.threads = 4;
   core::ReplaySession session(rt, spec, cfg);
-  static_cast<enoc::EnocNetwork&>(session.network()).set_parallel_grain(0);
+  // Grain 0 everywhere: router-tick sharding plus the session's own sharded
+  // phases (seed scan, delivered-dependency scan, eligibility-batch sort).
+  session.set_parallel_grains_for_test(0);
   session.run_pass();  // warmup: size pass buffers, shard outboxes, masks
   session.run_pass();  // warmup: prove the footprint converged
   const Cycle runtime = session.result().runtime;
@@ -294,6 +296,48 @@ TEST(AllocFreeKernel, ShardedTickSteadyStateIsAllocationFree) {
   }
   EXPECT_EQ(g_allocs - allocs_before, 0u)
       << "sharded replay passes hit the heap (shard state leaked capacity)";
+  EXPECT_EQ(InlineFn::heap_fallbacks() - fallbacks_before, 0u);
+}
+
+TEST(AllocFreeKernel, ShardedTickHybridOpticalSteadyStateIsAllocationFree) {
+  // Same bar over the optical plane: the hybrid steers the workload across
+  // both layers, so warmed-up passes exercise the ENoC shard outboxes AND
+  // the ONoC per-channel arbitration queues / grant outboxes, with the
+  // session's sharded scan/sort phases engaged on top. None of it may touch
+  // the heap after two warmup passes.
+  fullsys::AppParams app;
+  app.name = "jacobi";
+  app.cores = 16;
+  app.lines_per_core = 8;
+  app.iterations = 1;
+  fullsys::FullSysParams sys;
+  sys.l1_sets = 8;
+  sys.l1_ways = 2;
+  sys.l2_sets = 32;
+  sys.l2_ways = 4;
+  core::NetSpec spec;
+  spec.kind = core::NetKind::kHybrid;
+  const auto exec = core::run_execution(app, spec, sys);
+  const core::ReplayTrace rt(exec.trace);
+  ASSERT_FALSE(rt.empty());
+
+  core::ReplayConfig cfg;
+  cfg.threads = 4;
+  core::ReplaySession session(rt, spec, cfg);
+  session.set_parallel_grains_for_test(0);
+  session.run_pass();  // warmup: size arb queues, grant outboxes, batches
+  session.run_pass();  // warmup: prove the footprint converged
+  const Cycle runtime = session.result().runtime;
+
+  const std::uint64_t allocs_before = g_allocs;
+  const std::uint64_t fallbacks_before = InlineFn::heap_fallbacks();
+  constexpr int kPasses = 8;
+  for (int p = 0; p < kPasses; ++p) {
+    const auto& res = session.run_pass();
+    ASSERT_EQ(res.runtime, runtime);
+  }
+  EXPECT_EQ(g_allocs - allocs_before, 0u)
+      << "sharded optical-plane replay passes hit the heap";
   EXPECT_EQ(InlineFn::heap_fallbacks() - fallbacks_before, 0u);
 }
 
