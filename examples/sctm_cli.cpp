@@ -43,6 +43,7 @@
 #include "core/error_metrics.hpp"
 #include "core/experiment.hpp"
 #include "core/explore.hpp"
+#include "fault/fault_spec.hpp"
 #include "trace/dependency_graph.hpp"
 #include "trace/trace_io.hpp"
 #include "tracestore/catalog.hpp"
@@ -59,16 +60,16 @@ using namespace sctm;
       "usage:\n"
       "  sctm_cli capture --app <name> --net <kind> --out <file> "
       "[--cores N] [--lines N] [--iters N] [--mesh WxH] [--seed S] "
-      "[--format v1|v2]\n"
+      "[--format v1|v2] [--faults <cfg>]\n"
       "  sctm_cli replay  --trace <file> --net <kind> [--mode naive|sctm] "
       "[--window W] [--iters-max N] [--threads N] [--csv <file>] "
-      "[--mesh WxH]\n"
+      "[--mesh WxH] [--faults <cfg>]\n"
       "  sctm_cli explore --trace <file> --candidates <config> "
       "[--threads N] [--tick-threads N] [--mode naive|sctm] [--window W] "
-      "[--iters-max N] [--csv <file>]\n"
+      "[--iters-max N] [--csv <file>] [--faults <cfg>]\n"
       "  sctm_cli inspect --trace <file> [--text]\n"
       "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
-      "[--iters N] [--mesh WxH] [--stats <file>]\n"
+      "[--iters N] [--mesh WxH] [--stats <file>] [--faults <cfg>]\n"
       "  sctm_cli validate --json <file>\n"
       "  sctm_cli trace info    --trace <file> [--chunks]\n"
       "  sctm_cli trace convert --in <file> --out <file> [--format v1|v2] "
@@ -79,6 +80,8 @@ using namespace sctm;
       "  sctm_cli trace list    --dir <catalog>\n"
       "all run subcommands accept --stats-json <file> (machine-readable "
       "run metrics)\n"
+      "--faults reads a config of fault.* keys (rates, timeouts, seed) and "
+      "runs the network with deterministic fault injection\n"
       "networks: ideal enoc onoc-token onoc-setup hybrid\n"
       "apps: jacobi fft lu sort barnes stream\n");
   std::exit(2);
@@ -117,6 +120,15 @@ noc::Topology parse_mesh(const std::string& s) {
                              std::stoi(s.substr(x + 1)));
 }
 
+/// Applies --faults <cfg>: the file uses the ordinary "fault.*" config
+/// vocabulary (see fault/fault_spec.hpp); unknown fault.* keys hard-error.
+void apply_faults_flag(const std::map<std::string, std::string>& f,
+                       core::NetSpec& spec) {
+  const auto it = f.find("faults");
+  if (it == f.end()) return;
+  spec.fault = fault::FaultSpec::from_config(Config::from_file(it->second));
+}
+
 core::NetSpec spec_from(const std::map<std::string, std::string>& f) {
   core::NetSpec spec;
   const auto net = f.find("net");
@@ -125,6 +137,7 @@ core::NetSpec spec_from(const std::map<std::string, std::string>& f) {
   if (const auto m = f.find("mesh"); m != f.end()) {
     spec.topo = parse_mesh(m->second);
   }
+  apply_faults_flag(f, spec);
   return spec;
 }
 
@@ -289,7 +302,7 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
 /// Parses a candidates config into named NetSpecs. Each candidate is a
 /// namespace of "candidate.<name>.<param>" keys; the per-candidate params
 /// use the experiment-config vocabulary (net.kind, net.mesh_width/height,
-/// enoc.*, onoc.*, hybrid.*), e.g.:
+/// enoc.*, onoc.*, hybrid.*, fault.*), e.g.:
 ///
 ///   candidate.baseline.net.kind  = enoc
 ///   candidate.wide.net.kind      = onoc-token
@@ -320,7 +333,16 @@ int cmd_explore(const std::map<std::string, std::string>& f) {
   const auto& tr = require_flag(f, "trace");
   const auto& cand_path = require_flag(f, "candidates");
   const auto trace = trace::read_binary_file(tr);
-  const auto candidates = candidates_from(Config::from_file(cand_path));
+  auto candidates = candidates_from(Config::from_file(cand_path));
+  // --faults supplies the shared fault regime; a candidate's own fault.*
+  // keys (if any) win over it.
+  if (const auto it = f.find("faults"); it != f.end()) {
+    const auto shared =
+        fault::FaultSpec::from_config(Config::from_file(it->second));
+    for (auto& c : candidates) {
+      if (c.spec.fault == fault::FaultSpec{}) c.spec.fault = shared;
+    }
+  }
   const core::ReplayConfig cfg = replay_cfg_from(f);
   unsigned threads = 0;
   if (const auto it = f.find("threads"); it != f.end()) {

@@ -49,7 +49,14 @@ Config Config::from_string(std::string_view text) {
     const auto key = trim(line.substr(0, eq));
     const auto value = trim(line.substr(eq + 1));
     if (key.empty()) fail("empty key on line " + std::to_string(line_no), line);
-    cfg.set(std::string(key), std::string(value));
+    std::string k(key);
+    if (const auto it = cfg.lines_.find(k); it != cfg.lines_.end()) {
+      fail("key '" + k + "' assigned twice (line " + std::to_string(line_no) +
+               ", first assigned on line " + std::to_string(it->second) + ")",
+           line);
+    }
+    cfg.set(k, std::string(value));
+    cfg.lines_.emplace(std::move(k), line_no);
   }
   return cfg;
 }
@@ -63,6 +70,8 @@ Config Config::from_file(const std::string& path) {
 }
 
 void Config::set(std::string key, std::string value) {
+  // A programmatic overwrite invalidates source-line attribution.
+  lines_.erase(key);
   values_[std::move(key)] = std::move(value);
 }
 
@@ -145,7 +154,42 @@ bool Config::get_bool(std::string_view key, bool def) const {
 }
 
 void Config::merge(const Config& other) {
-  for (const auto& [k, v] : other.values_) values_[k] = v;
+  for (const auto& [k, v] : other.values_) {
+    values_[k] = v;
+    if (const auto it = other.lines_.find(k); it != other.lines_.end()) {
+      lines_[k] = it->second;
+    } else {
+      lines_.erase(k);
+    }
+  }
+}
+
+void Config::require_keys_in(
+    std::string_view prefix,
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [k, v] : values_) {
+    const std::string_view key = k;
+    if (key.substr(0, prefix.size()) != prefix) continue;
+    const std::string_view suffix = key.substr(prefix.size());
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (suffix == a) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string where;
+    if (const auto it = lines_.find(k); it != lines_.end()) {
+      where = " (line " + std::to_string(it->second) + ")";
+    }
+    std::string vocab;
+    for (const std::string_view a : allowed) {
+      if (!vocab.empty()) vocab += ", ";
+      vocab += std::string(prefix) + std::string(a);
+    }
+    fail("unknown key '" + k + "'" + where, "expected one of: " + vocab);
+  }
 }
 
 std::vector<std::string> Config::keys() const {

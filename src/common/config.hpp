@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <set>
@@ -23,8 +24,11 @@ class Config {
   Config() = default;
 
   /// Parses "key = value" lines. '#' starts a comment; blank lines ignored.
-  /// Later assignments override earlier ones. Throws std::runtime_error on
-  /// malformed lines.
+  /// Throws std::runtime_error on malformed lines and on a key assigned
+  /// twice (the error names both lines): a silent first-or-last-wins would
+  /// turn a copy-paste slip in an experiment file into a quietly different
+  /// run. Programmatic overrides go through set()/merge(), which keep their
+  /// last-wins semantics.
   static Config from_string(std::string_view text);
 
   /// Loads from a file; throws std::runtime_error when unreadable.
@@ -51,6 +55,14 @@ class Config {
   /// Merges `other` on top of this config (other wins on conflicts).
   void merge(const Config& other);
 
+  /// Validates every key under `prefix` ("fault.") against an allowed
+  /// vocabulary (suffixes, without the prefix). Throws std::runtime_error
+  /// naming the offending key — and its source line when this config was
+  /// parsed from text — so a typo'd key hard-errors instead of silently
+  /// meaning "use the default". No-op for configs with no such keys.
+  void require_keys_in(std::string_view prefix,
+                       std::initializer_list<std::string_view> allowed) const;
+
   /// All keys in sorted order.
   std::vector<std::string> keys() const;
 
@@ -64,6 +76,9 @@ class Config {
   std::optional<std::string> lookup(std::string_view key) const;
 
   std::map<std::string, std::string, std::less<>> values_;
+  /// Source line of each key parsed from text (error attribution). Keys set
+  /// programmatically have no entry.
+  std::map<std::string, std::size_t, std::less<>> lines_;
   mutable std::set<std::string, std::less<>> consumed_;
 };
 

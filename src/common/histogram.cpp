@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "common/json.hpp"
@@ -82,6 +83,9 @@ std::uint64_t Histogram::max() const { return count_ ? max_ : 0; }
 
 std::uint64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
+  // NaN first: std::clamp on NaN is unspecified and the rank cast below
+  // would be UB. Treat it like q <= 0 (the smallest recorded value).
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the target sample, 1-based; ceil(q * count) with a floor of 1.
   const double exact = q * static_cast<double>(count_);

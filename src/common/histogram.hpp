@@ -40,7 +40,9 @@ class Histogram {
   std::uint64_t max() const;
 
   /// Exact percentile: smallest value v such that at least q*count samples
-  /// are <= v. q in [0,1]; q=0.5 is the median. Returns 0 on empty.
+  /// are <= v; q=0.5 is the median. Every input is defined: an empty
+  /// histogram returns 0, q is clamped to [0,1] (q <= 0 gives the smallest
+  /// recorded value, q >= 1 the largest), and a NaN q behaves like q = 0.
   std::uint64_t percentile(double q) const;
 
   /// Count of samples exactly equal to `value`.

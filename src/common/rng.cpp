@@ -55,14 +55,34 @@ double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
-bool Rng::next_bool(double p) { return next_double() < p; }
+bool Rng::next_bool(double p) {
+  // Degenerate probabilities are exact and consume no state: p <= 0 can never
+  // fire and p >= 1 always does, independent of float rounding in
+  // next_double() (which returns values in [0, 1) — `< p` alone would make
+  // p = 1 "always" only by accident of the open interval, and a NaN p would
+  // silently mean "never"). NaN compares false on both guards and falls
+  // through to the draw, where `< NaN` is false: NaN means never, explicitly.
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
 
 std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(next_below(span));
+  // Unsigned subtraction: hi - lo as signed arithmetic overflows (UB) as soon
+  // as the span exceeds int64 max — e.g. next_range(INT64_MIN, INT64_MAX),
+  // whose span + 1 also wraps to 0. Modular uint64 arithmetic is exact for
+  // every lo <= hi, with the full-range case served by a raw draw.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == ~std::uint64_t{0}) return static_cast<std::int64_t>(next_u64());
+  const std::uint64_t off = next_below(span + 1);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
 }
 
 double Rng::next_exponential(double mean) {
+  // A non-positive (or NaN) mean is a degenerate distribution, not a licence
+  // for 0 * -inf = NaN: return 0 exactly, consuming no state.
+  if (!(mean > 0.0)) return 0.0;
   // Inverse-CDF; 1 - u avoids log(0).
   return -mean * std::log(1.0 - next_double());
 }

@@ -26,14 +26,18 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double();
 
-  /// Bernoulli trial with probability `p`.
+  /// Bernoulli trial with probability `p`. Exact at the boundaries: p <= 0
+  /// never fires and p >= 1 always fires, neither consuming generator state
+  /// (so a zero-rate draw site leaves the stream untouched).
   bool next_bool(double p);
 
-  /// Uniform integer in the inclusive range [lo, hi].
+  /// Uniform integer in the inclusive range [lo, hi] (requires lo <= hi).
+  /// Well-defined for any such pair, including the full int64 range.
   std::int64_t next_range(std::int64_t lo, std::int64_t hi);
 
   /// Exponentially distributed draw with the given mean (for inter-arrival
-  /// gaps in Poisson-like traffic).
+  /// gaps in Poisson-like traffic). A mean <= 0 returns exactly 0 without
+  /// consuming generator state.
   double next_exponential(double mean);
 
   /// Creates an independent child stream; used to give each component its own

@@ -35,7 +35,9 @@ std::string NetSpec::describe() const {
   return std::string(to_string(kind)) + " " + topo.describe();
 }
 
-NetworkFactory make_factory(const NetSpec& spec) {
+namespace {
+
+NetworkFactory make_base_factory(const NetSpec& spec) {
   switch (spec.kind) {
     case NetKind::kIdeal:
       return [spec](Simulator& sim) -> std::unique_ptr<noc::Network> {
@@ -75,6 +77,22 @@ NetworkFactory make_factory(const NetSpec& spec) {
       };
   }
   throw std::invalid_argument("make_factory: bad NetKind");
+}
+
+}  // namespace
+
+NetworkFactory make_factory(const NetSpec& spec) {
+  NetworkFactory build = make_base_factory(spec);
+  // Inert fault specs wrap nothing: the factory — and everything it builds —
+  // is exactly the pre-fault code path.
+  if (!spec.fault.enabled()) return build;
+  spec.fault.validate();
+  const fault::FaultSpec fs = spec.fault;
+  return [build = std::move(build), fs](Simulator& sim) {
+    auto net = build(sim);
+    net->install_fault_model(fs);
+    return net;
+  };
 }
 
 ExecutionRun run_execution(const fullsys::AppParams& app, const NetSpec& net,
@@ -162,6 +180,9 @@ RunMetrics metrics_for_execution(const fullsys::AppParams& app,
   m.manifest.set("lines_per_core", app.lines_per_core);
   m.manifest.set("iterations", app.iterations);
   m.manifest.set("seed", std::uint64_t{app.seed});
+  // Fault regime echo (empty for inert specs, so fault-free documents are
+  // byte-identical to pre-fault builds).
+  for (const auto& [k, v] : net.fault.manifest_entries()) m.manifest.set(k, v);
   m.add_phases(run.phases);
   m.set_stats(run.stats);
 
@@ -205,6 +226,7 @@ RunMetrics replay_metrics_impl(std::string trace_ident, std::int32_t nodes,
   // Resolved tick-thread count (0 = hardware) — recorded for provenance even
   // though results are thread-count invariant by construction.
   m.manifest.set("tick_threads", std::uint64_t{resolve_threads(config.threads)});
+  for (const auto& [k, v] : net.fault.manifest_entries()) m.manifest.set(k, v);
   m.add_phases(run.phases);
   m.set_stats(run.result.stats);
   m.add_histogram("latency", run.result.latency_histogram());

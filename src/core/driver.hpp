@@ -14,6 +14,7 @@
 #include "common/run_metrics.hpp"
 #include "core/replay.hpp"
 #include "enoc/enoc_network.hpp"
+#include "fault/fault_spec.hpp"
 #include "fullsys/cmp_system.hpp"
 #include "onoc/hybrid_network.hpp"
 #include "onoc/onoc_network.hpp"
@@ -32,6 +33,10 @@ struct NetSpec {
   enoc::EnocParams enoc{};
   onoc::OnocParams onoc{};
   onoc::HybridParams hybrid{};
+  /// Fault regime (default-constructed = inert: no model installed, the
+  /// fault-free paths and --stats-json output are byte-identical to before
+  /// this field existed).
+  fault::FaultSpec fault{};
 
   std::string describe() const;
 

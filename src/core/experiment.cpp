@@ -34,6 +34,7 @@ NetSpec netspec_from_config(const Config& cfg, const std::string& which) {
       cfg.get_int("hybrid.distance_threshold", 3));
   spec.hybrid.size_threshold = static_cast<std::uint32_t>(
       cfg.get_int("hybrid.size_threshold", 64));
+  spec.fault = fault::FaultSpec::from_config(cfg);
   return spec;
 }
 

@@ -7,6 +7,7 @@
 //                                onoc-swmr|hybrid)
 //   net.mesh_width / net.mesh_height  (fabric, shared by both networks)
 //   enoc.* / onoc.* / fullsys.*       (forwarded to the module parsers)
+//   fault.*                           (fault injection; see fault/fault_spec)
 //   replay.mode (naive|sctm), replay.window, replay.max_iterations
 //   experiment.mode = exec | replay | accuracy
 #pragma once
@@ -22,7 +23,8 @@ namespace sctm::core {
 NetKind net_kind_from(const std::string& name);
 
 /// NetSpec from config: `<which>.kind` selects the network, the fabric comes
-/// from net.mesh_width/height, and module parameters from enoc.*/onoc.*.
+/// from net.mesh_width/height, module parameters from enoc.*/onoc.*, and the
+/// fault regime from fault.* (absent keys = inert spec).
 NetSpec netspec_from_config(const Config& cfg, const std::string& which);
 
 fullsys::AppParams app_from_config(const Config& cfg);

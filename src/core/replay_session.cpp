@@ -112,8 +112,13 @@ void ReplaySession::rebind(const NetSpec& spec) {
     last_rebind_in_place_ = true;
     return;
   }
-  const bool same_shape =
-      has_spec_ && bound_spec_.kind == spec.kind && bound_spec_.topo == spec.topo;
+  // The in-place paths keep the constructed network (and any installed
+  // FaultModel) alive, so they additionally require an unchanged fault
+  // regime — a new spec means new streams, rates and registered counters,
+  // which only a rebuild delivers.
+  const bool same_shape = has_spec_ && bound_spec_.kind == spec.kind &&
+                          bound_spec_.topo == spec.topo &&
+                          bound_spec_.fault == spec.fault;
   if (same_shape && spec.kind == NetKind::kIdeal) {
     // Parameters are only read at inject time — patch and reset.
     sim_.reset();

@@ -31,11 +31,17 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
   pending_.reserve(64);
 }
 
+void EnocNetwork::install_fault_model(const fault::FaultSpec& spec) {
+  Network::install_fault_model(spec);
+  link_stuck_until_.assign(routers_.size() * kLinkStride, 0);
+}
+
 void EnocNetwork::reset() {
   Network::reset();
   for (auto& r : routers_) r->reset();
   pending_.clear();
   for (auto& w : active_bits_) w = 0;
+  for (auto& c : link_stuck_until_) c = 0;
   for (auto& s : shards_) {
     s.outbox.clear();
     for (auto& w : s.clear_mask) w = 0;
@@ -93,6 +99,7 @@ void EnocNetwork::apply_forward(NodeId node, int out_dir, const Flit& flit) {
                            (static_cast<std::uint64_t>(flit.seq) << 4) ^
                            static_cast<std::uint64_t>(node * 8 + out_dir));
   if (probe_) probe_(sim().now(), out_dir, flit.msg, node);
+  if (fault_model() != nullptr) apply_link_faults(node, out_dir, flit);
   const NodeId next = topo_.neighbor(node, out_dir);
   if (next == kInvalidNode) {
     throw std::logic_error(name() + ": flit forwarded off the fabric edge");
@@ -126,11 +133,76 @@ void EnocNetwork::apply_eject(NodeId node, const Flit& flit) {
     throw std::logic_error(name() + ": flit ejected at wrong node");
   }
   if (--pm->flits_remaining == 0) {
-    noc::Message msg = pm->msg;
+    const noc::Message msg = pm->msg;
+    const bool bad = pm->fault_bad;
     pending_.erase(flit.msg);
+    fault::FaultModel* fm = fault_model();
+    if (fm != nullptr && bad) {
+      handle_corrupt_message(msg);
+      return;
+    }
     --in_flight_;
+    if (fm != nullptr) fm->on_clean_delivery(msg.id, sim().now());
     deliver(msg);
   }
+}
+
+// Runs once per link traversal, at the serial outbox drain — the draw order
+// is the drain order, so the fault schedule is bit-identical at any shard
+// count. Faults never touch flow control: a corrupted/dropped symbol still
+// occupies the downstream datapath (the link-level coding flags it), so
+// wormhole and credit state are exactly the fault-free schedule until the
+// recovery retransmission perturbs it.
+void EnocNetwork::apply_link_faults(NodeId node, int out_dir,
+                                    const Flit& flit) {
+  fault::FaultModel& fm = *fault_model();
+  bool bad = false;
+  const std::size_t link = static_cast<std::size_t>(node) * kLinkStride +
+                           static_cast<std::size_t>(out_dir);
+  if (fm.draw_link_stuck_onset()) {
+    link_stuck_until_[link] = sim().now() + fm.spec().enoc_link_stuck_cycles;
+  }
+  if (sim().now() < link_stuck_until_[link]) {
+    fm.note_stuck_hit();
+    bad = true;
+  }
+  if (fm.draw_flit_corrupt()) bad = true;
+  if (fm.draw_flit_drop()) bad = true;
+  if (bad) {
+    if (PendingMsg* pm = pending_.find(flit.msg)) pm->fault_bad = true;
+  }
+}
+
+// Tail reassembly found a bad flit: ask the model whether the retry budget
+// allows another attempt. While the NACK is in flight the message stays
+// counted in in_flight_, so the clock keeps running and idle() stays false —
+// the lossless contract (and replay's drain) never observes a gap.
+void EnocNetwork::handle_corrupt_message(const noc::Message& msg) {
+  fault::FaultModel& fm = *fault_model();
+  if (fm.on_corrupt_message(msg.id, sim().now()) ==
+      fault::FaultModel::Action::kRetransmit) {
+    const noc::Message m = msg;
+    auto ev = [this, m] { reinject_for_retry(m); };
+    static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                  "retry closure must stay within the event SBO budget");
+    sim().schedule_in(fm.nack_delay(), std::move(ev));
+    return;
+  }
+  // Budget exhausted: surface the (corrupt) message anyway — networks stay
+  // lossless — with the loss recorded in <name>.fault.messages_lost.
+  --in_flight_;
+  deliver(msg);
+}
+
+// Source re-injection of a corrupted message. Same flit count, same message
+// id, and crucially the original inject_time: end-to-end latency includes
+// every failed attempt plus the NACK turnarounds.
+void EnocNetwork::reinject_for_retry(const noc::Message& msg) {
+  const std::uint32_t nflits = params_.flits_for(msg.size_bytes);
+  pending_.insert(msg.id, PendingMsg{msg, nflits, false});
+  routers_[static_cast<std::size_t>(msg.src)]->inject(msg, nflits);
+  mark_active(msg.src);
+  ensure_ticking();
 }
 
 void EnocNetwork::apply_credit(NodeId node, int in_dir, int vc) {

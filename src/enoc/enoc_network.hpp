@@ -65,6 +65,15 @@ class EnocNetwork final : public noc::Network {
   void tick_partitioned(unsigned shard, unsigned nshards) override;
   void drain_ticks() override;
 
+  /// Fault injection (DESIGN.md §11): link-level faults — payload
+  /// corruption, flit drop, stuck-at episodes — are drawn per link traversal
+  /// at the serial outbox drain, so the schedule is bit-identical at any
+  /// shard count. Faults corrupt *payloads*, never flow control: the wire
+  /// symbol still traverses (wormhole/credit state untouched), detection
+  /// happens at tail reassembly, recovery is a NACK + source re-injection
+  /// bounded by the spec's retry budget.
+  void install_fault_model(const fault::FaultSpec& spec) override;
+
   const noc::Topology& topology() const { return topo_; }
   const EnocParams& params() const { return params_; }
   Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
@@ -110,6 +119,11 @@ class EnocNetwork final : public noc::Network {
   void apply_eject(NodeId node, const Flit& flit);
   void apply_credit(NodeId node, int in_dir, int vc);
 
+  // Fault path (all serial: drain handlers and event dispatch).
+  void apply_link_faults(NodeId node, int out_dir, const Flit& flit);
+  void handle_corrupt_message(const noc::Message& msg);
+  void reinject_for_retry(const noc::Message& msg);
+
   void tick();
   void ensure_ticking();
   void mark_active(NodeId n);
@@ -118,6 +132,9 @@ class EnocNetwork final : public noc::Network {
   struct PendingMsg {
     noc::Message msg;
     std::uint32_t flits_remaining = 0;
+    /// Any flit of this message hit a fault in transit; the reassembly check
+    /// at tail ejection sees it and triggers recovery.
+    bool fault_bad = false;
   };
 
   /// Per-shard tick state. Shards never touch the live scoreboard: routers
@@ -139,6 +156,11 @@ class EnocNetwork final : public noc::Network {
   FlatMap<MsgId, PendingMsg> pending_;
   /// Activity scoreboard: bit n set == router n has (or may have) work.
   std::vector<std::uint64_t> active_bits_;
+  /// Stuck-at fault state, indexed node * kLinkStride + out_dir: the cycle
+  /// until which the link garbles every crossing flit. Empty unless a fault
+  /// model is installed.
+  static constexpr std::size_t kLinkStride = 8;
+  std::vector<Cycle> link_stuck_until_;
   std::vector<ShardState> shards_;
   unsigned shards_in_use_ = 0;
   unsigned parallel_grain_ = 2;

@@ -13,14 +13,21 @@ void Network::note_injected(Message& msg) {
   ++injected_;
 }
 
+void Network::install_fault_model(const fault::FaultSpec& spec) {
+  fault_ = std::make_unique<fault::FaultModel>(
+      spec, sim().stats(), name() + ".fault", node_count_);
+}
+
 // Pure virtual with a body: subclasses' overrides delegate here for the
 // counters/histograms the base owns. The delivery callback is deliberately
-// kept — a session re-runs against the same sink.
+// kept — a session re-runs against the same sink. The fault model (if any)
+// rewinds its streams so a reused session replays the fresh fault schedule.
 void Network::reset() {
   injected_ = 0;
   delivered_ = 0;
   latency_.reset();
   for (auto& h : latency_by_class_) h.reset();
+  if (fault_) fault_->reset();
 }
 
 void Network::deliver(Message msg) {

@@ -10,6 +10,7 @@
 
 #include "common/histogram.hpp"
 #include "common/inline_fn.hpp"
+#include "fault/fault_model.hpp"
 #include "noc/message.hpp"
 #include "noc/topology.hpp"
 #include "sim/component.hpp"
@@ -33,7 +34,10 @@ class Network : public Component {
   /// Hands a message to the network at sim().now(). The network owns the
   /// copy until delivery; `inject_time`/`arrive_time` are filled here and at
   /// delivery respectively. Networks are lossless: every injected message is
-  /// eventually delivered (tests assert this).
+  /// eventually delivered (tests assert this). This holds even under fault
+  /// injection — a message whose retransmission budget is exhausted is still
+  /// surfaced (and counted in <name>.fault.messages_lost), so replay can
+  /// never hang on a record that will not arrive.
   virtual void inject(Message msg) = 0;
 
   /// Called once per delivered message, at arrival time.
@@ -92,6 +96,18 @@ class Network : public Component {
 
   // -------------------------------------------------------------------------
 
+  /// Installs a fault model built from `spec` (must be enabled() — inert
+  /// specs build no model so the fault-free path stays byte-identical).
+  /// Counters register under "<name>.fault.*". Call once, before traffic;
+  /// the model survives reset() (streams rewound, same schedule as fresh).
+  /// Backends that model no faults (Ideal) run fault-transparent: the model
+  /// is installed but nothing draws from it. Composites (Hybrid) override to
+  /// hand each layer its own model with a derived seed.
+  virtual void install_fault_model(const fault::FaultSpec& spec);
+
+  fault::FaultModel* fault_model() { return fault_.get(); }
+  const fault::FaultModel* fault_model() const { return fault_.get(); }
+
   std::uint64_t injected_count() const { return injected_; }
   std::uint64_t delivered_count() const { return delivered_; }
   const Histogram& latency_histogram() const { return latency_; }
@@ -111,6 +127,9 @@ class Network : public Component {
  private:
   int node_count_;
   DeliverFn deliver_;
+  /// Null unless install_fault_model() ran — the common case pays one
+  /// pointer test at most.
+  std::unique_ptr<fault::FaultModel> fault_;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_ = 0;
   Histogram latency_;

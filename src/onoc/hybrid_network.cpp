@@ -30,6 +30,13 @@ void HybridNetwork::install_deliver_up(noc::Network& layer) {
   layer.set_deliver_callback(std::move(deliver_up));
 }
 
+void HybridNetwork::install_fault_model(const fault::FaultSpec& spec) {
+  electrical_->install_fault_model(spec);
+  // Bit-complemented root: FaultModel derives all streams through a
+  // splitmix-style finalizer, so any distinct root decorrelates the planes.
+  optical_->install_fault_model(spec.with_seed(~spec.seed));
+}
+
 void HybridNetwork::reset() {
   Network::reset();
   electrical_->reset();

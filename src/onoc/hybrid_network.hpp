@@ -55,6 +55,12 @@ class HybridNetwork final : public noc::Network {
     optical_->set_parallel_grain(grain);
   }
 
+  /// Faults install per layer (counters under "<name>.el.fault.*" /
+  /// "<name>.op.fault.*"), with decorrelated root seeds so both planes draw
+  /// independent fault schedules from one configured seed. The hybrid shell
+  /// itself keeps no model — inject() only steers.
+  void install_fault_model(const fault::FaultSpec& spec) override;
+
   /// The policy, exposed for tests and the steering ablation.
   bool goes_optical(const noc::Message& msg) const;
 

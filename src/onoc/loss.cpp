@@ -55,4 +55,21 @@ LaserRequirement compute_laser(const LossBudgetInputs& in) {
   return out;
 }
 
+double faulted_bit_error_rate(const LossBudgetInputs& in,
+                              double drift_sigma_c, double degradation_db) {
+  if (drift_sigma_c <= 0.0 && degradation_db <= 0.0) return 0.0;
+  // Thermal detuning penalty: ~0.25 dB per °C of RMS ring drift (linearized
+  // small-detuning regime of the ring's Lorentzian response).
+  constexpr double kDriftDbPerC = 0.25;
+  const double margin_db = in.laser.power_margin_db -
+                           kDriftDbPerC * std::max(0.0, drift_sigma_c) -
+                           std::max(0.0, degradation_db);
+  // Calibration: the full design margin spent == the nominal operating point
+  // (BER 1e-12, Q = 7.03). Margin shortfall scales Q in the linear domain.
+  constexpr double kNominalQ = 7.03;
+  const double q = kNominalQ * std::pow(10.0, margin_db / 20.0);
+  const double ber = 0.5 * std::erfc(q / std::sqrt(2.0));
+  return std::clamp(ber, 0.0, 0.5);
+}
+
 }  // namespace sctm::onoc

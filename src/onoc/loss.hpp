@@ -56,4 +56,14 @@ LossBudget compute_loss(const LossBudgetInputs& in);
 /// Laser and thermal static power implied by the budget.
 LaserRequirement compute_laser(const LossBudgetInputs& in);
 
+/// Bit error rate of the worst-case link once fault injection erodes the
+/// designed power margin: microring thermal drift of `drift_sigma_c` degrees
+/// C RMS costs ~0.25 dB/°C of detuning penalty, and `degradation_db` models
+/// laser aging. The remaining margin maps to a received Q factor (a design
+/// margin of 0 is calibrated to BER 1e-12, Q ≈ 7.03) and BER =
+/// 0.5*erfc(Q/sqrt(2)). Returns 0 when both knobs are 0 — the fault-free
+/// link is modeled as error-free.
+double faulted_bit_error_rate(const LossBudgetInputs& in,
+                              double drift_sigma_c, double degradation_db);
+
 }  // namespace sctm::onoc

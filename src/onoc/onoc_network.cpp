@@ -1,9 +1,11 @@
 #include "onoc/onoc_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "onoc/power.hpp"
 
 namespace sctm::onoc {
 
@@ -45,6 +47,13 @@ OnocNetwork::OnocNetwork(Simulator& sim, std::string name,
   }
 }
 
+void OnocNetwork::install_fault_model(const fault::FaultSpec& spec) {
+  Network::install_fault_model(spec);
+  optical_ber_ = faulted_bit_error_rate(budget_inputs_for(*this),
+                                        spec.onoc_ring_drift_sigma_c,
+                                        spec.onoc_laser_degradation_db);
+}
+
 void OnocNetwork::reset() {
   Network::reset();
   for (auto& ring : tokens_) ring.reset();
@@ -53,7 +62,10 @@ void OnocNetwork::reset() {
   // Arbitration queues: the flush event (if any) died with the simulator's
   // queue reset; drop whatever it would have served, capacity retained.
   for (auto& reqs : arb_chan_) reqs.clear();
-  for (auto& s : arb_shards_) s.grants.clear();
+  for (auto& s : arb_shards_) {
+    s.grants.clear();
+    s.token_losses = 0;
+  }
   arb_shards_in_use_ = 0;
   arb_queued_ = 0;
   arb_scheduled_ = false;
@@ -99,6 +111,14 @@ void OnocNetwork::inject(noc::Message msg) {
     return;
   }
 
+  route_to_arbitration(msg);
+}
+
+// Entry into channel arbitration — shared by inject() and the fault model's
+// retransmission path, so a NACKed message re-contends exactly like a fresh
+// one (new arbitration wait, new path-setup transaction) while keeping its
+// identity and original inject_time.
+void OnocNetwork::route_to_arbitration(const noc::Message& msg) {
   if (params_.arbitration == Arbitration::kTokenRing) {
     // Per-channel arbitration defers to the cycle's late-band flush so it
     // can shard across channels; the grant values are what the immediate
@@ -185,7 +205,16 @@ void OnocNetwork::tick_partitioned(unsigned shard, unsigned nshards) {
     if (reqs.empty()) continue;
     if (params_.arbitration == Arbitration::kTokenRing) {
       TokenRing& ring = tokens_[c];
+      fault::FaultModel* fm = fault_model();
       for (const noc::Message& m : reqs) {
+        // Token-loss draw from the channel's own child stream: this channel
+        // is owned by exactly this shard, and its request order is the
+        // shard-invariant per-channel arrival subsequence, so the draw
+        // sequence (hence every grant) is identical at any lane count.
+        if (fm != nullptr && fm->draw_token_loss(static_cast<int>(c))) {
+          ring.lose_token(t, fm->spec().onoc_token_regen_cycles);
+          ++st.token_losses;
+        }
         const Cycle hold =
             params_.ser_cycles(m.size_bytes) + params_.guard_cycles;
         const Cycle grant = ring.acquire(m.src, t, hold);
@@ -207,6 +236,10 @@ void OnocNetwork::tick_partitioned(unsigned shard, unsigned nshards) {
 void OnocNetwork::drain_ticks() {
   for (unsigned s = 0; s < arb_shards_in_use_; ++s) {
     ArbShard& st = arb_shards_[s];
+    if (st.token_losses != 0) {
+      fault_model()->note_token_losses(st.token_losses);
+      st.token_losses = 0;
+    }
     for (const Grant& g : st.grants) {
       stat_arb_wait_.add(static_cast<double>(g.wait));
       const noc::Message msg = g.msg;
@@ -228,13 +261,43 @@ void OnocNetwork::start_transmission(noc::Message msg) {
   stat_ser_.add(static_cast<double>(ser));
   ++stat_transmissions_;
   data_bytes_ += msg.size_bytes;
-  auto ev = [this, msg]() mutable {
-    --in_flight_;
-    deliver(msg);
-  };
+  auto ev = [this, msg]() mutable { complete_transmission(msg); };
   static_assert(InlineFn::fits_inline<decltype(ev)>(),
                 "optical delivery closure must stay within the SBO budget");
   sim().schedule_in(lat, std::move(ev));
+}
+
+// Arrival of the optical payload at the receiver, where the self-correction
+// layer checks transfer integrity. The corruption draw happens here, at
+// event dispatch (serial by construction), from the whole-transfer error
+// probability the cached BER implies: p = 1 - (1-ber)^bits.
+void OnocNetwork::complete_transmission(noc::Message msg) {
+  fault::FaultModel* fm = fault_model();
+  if (fm != nullptr && optical_ber_ > 0.0) {
+    const double bits = 8.0 * static_cast<double>(msg.size_bytes);
+    const double p = -std::expm1(bits * std::log1p(-optical_ber_));
+    if (fm->draw_optical_corrupt(p)) {
+      if (fm->on_corrupt_message(msg.id, sim().now()) ==
+          fault::FaultModel::Action::kRetransmit) {
+        // NACK turnaround, then re-contend from scratch; in_flight_ stays
+        // held so idle() (and replay's drain) never observes a gap.
+        const noc::Message m = msg;
+        auto ev = [this, m] { route_to_arbitration(m); };
+        static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                      "retry closure must stay within the event SBO budget");
+        sim().schedule_in(fm->nack_delay(), std::move(ev));
+        return;
+      }
+      // Budget exhausted: surface the (corrupt) transfer anyway — the
+      // fabric stays lossless — counted in <name>.fault.messages_lost.
+      --in_flight_;
+      deliver(msg);
+      return;
+    }
+    fm->on_clean_delivery(msg.id, sim().now());
+  }
+  --in_flight_;
+  deliver(msg);
 }
 
 void OnocNetwork::send_ctrl(CtrlKind kind, NodeId from, NodeId to,
@@ -264,7 +327,7 @@ void OnocNetwork::on_ctrl_deliver(const noc::Message& ctrl) {
       recv.queue.push_back(pid);
     } else {
       recv.busy = true;
-      send_ctrl(CtrlKind::kGrant, msg.dst, msg.src, pid);
+      send_grant(msg.dst, pid);
     }
     return;
   }
@@ -292,9 +355,29 @@ void OnocNetwork::receiver_freed(NodeId dst) {
   }
   const std::uint64_t pid = recv.queue.front();
   recv.queue.pop_front();
-  const Pending* pending = pending_.find(pid);
+  send_grant(dst, pid);
+}
+
+// Grant emission, with reservation-loss faults: a lost grant is detected by
+// the writer's reservation timeout and the receiver re-issues it. After the
+// retry budget the grant is forced through (the protocol escalates to a
+// reliable path), so the writer always hears back and the receiver — busy
+// until its grant is consumed — can never deadlock.
+void OnocNetwork::send_grant(NodeId dst, std::uint64_t pid) {
+  Pending* pending = pending_.find(pid);
   if (pending == nullptr) {
-    throw std::logic_error(name() + ": queued pending id vanished");
+    throw std::logic_error(name() + ": grant for unknown pending id");
+  }
+  fault::FaultModel* fm = fault_model();
+  if (fm != nullptr && fm->draw_reservation_loss() &&
+      pending->resv_retries <
+          static_cast<std::uint32_t>(fm->spec().max_retries)) {
+    ++pending->resv_retries;
+    auto ev = [this, dst, pid] { send_grant(dst, pid); };
+    static_assert(InlineFn::fits_inline<decltype(ev)>(),
+                  "grant-retry closure must stay within the event SBO budget");
+    sim().schedule_in(fm->spec().onoc_reservation_timeout, std::move(ev));
+    return;
   }
   send_ctrl(CtrlKind::kGrant, dst, pending->msg.src, pid);
 }

@@ -68,6 +68,21 @@ class OnocNetwork : public noc::Network {
   void drain_ticks() override;
   void set_parallel_grain(unsigned grain) override { parallel_grain_ = grain; }
 
+  /// Fault injection (DESIGN.md §11) on the optical plane: token loss
+  /// (timeout-regenerated at the ring's home node), path-setup grant loss
+  /// (receiver re-issues after the reservation timeout), and whole-transfer
+  /// data corruption at the BER the eroded loss budget implies (ring thermal
+  /// drift + laser degradation), recovered by NACK + re-arbitration under
+  /// the spec's retry budget. The electrical control mesh itself runs
+  /// fault-free — control-plane loss is modeled abstractly by the
+  /// reservation-loss class. Token-loss draws come from per-channel child
+  /// streams so sharded arbitration stays bit-identical to serial.
+  void install_fault_model(const fault::FaultSpec& spec) override;
+
+  /// BER the installed fault spec implies for the worst-case optical link
+  /// (0 without a model or with drift/degradation unset).
+  double optical_bit_error_rate() const { return optical_ber_; }
+
   const OnocParams& params() const { return params_; }
   const noc::Topology& topology() const { return topo_; }
 
@@ -84,12 +99,17 @@ class OnocNetwork : public noc::Network {
  private:
   struct Pending {
     noc::Message msg;
+    /// Grant re-issues consumed by reservation-loss faults for this setup.
+    std::uint32_t resv_retries = 0;
   };
   enum class CtrlKind : std::uint64_t { kSetup = 1, kGrant = 2 };
 
+  void route_to_arbitration(const noc::Message& msg);
   void start_transmission(noc::Message msg);
+  void complete_transmission(noc::Message msg);
   void on_ctrl_deliver(const noc::Message& ctrl);
   void send_ctrl(CtrlKind kind, NodeId from, NodeId to, std::uint64_t pending_id);
+  void send_grant(NodeId dst, std::uint64_t pending_id);
   void receiver_freed(NodeId dst);
   void queue_arbitration(const noc::Message& msg, NodeId channel);
   void arb_flush();
@@ -114,6 +134,9 @@ class OnocNetwork : public noc::Network {
   };
   struct ArbShard {
     std::vector<Grant> grants;
+    /// Token losses drawn by this shard's lanes; folded into the fault
+    /// model's counter at drain (lanes never touch shared counters).
+    std::uint64_t token_losses = 0;
   };
 
   /// Per-channel request queues for the current cycle (token: keyed by dst,
@@ -144,6 +167,9 @@ class OnocNetwork : public noc::Network {
 
   std::uint64_t in_flight_ = 0;
   std::uint64_t data_bytes_ = 0;
+  /// Worst-case link BER under the installed fault spec (0 = error-free).
+  /// Spec-derived, not session state: survives reset().
+  double optical_ber_ = 0.0;
 
   Accumulator& stat_arb_wait_;
   Accumulator& stat_ser_;

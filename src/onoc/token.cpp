@@ -18,6 +18,16 @@ NodeId TokenRing::position_at(Cycle t) const {
       (static_cast<Cycle>(pos_) + steps) % static_cast<Cycle>(nodes_));
 }
 
+void TokenRing::lose_token(Cycle t, Cycle regen) {
+  if (t < last_call_) {
+    throw std::logic_error("TokenRing: lose_token() out of time order");
+  }
+  last_call_ = t;
+  const Cycle base = t > free_at_ ? t : free_at_;
+  pos_ = 0;  // regenerated at the ring's home node
+  free_at_ = base + regen;
+}
+
 Cycle TokenRing::acquire(NodeId s, Cycle t, Cycle hold) {
   if (s < 0 || s >= nodes_) throw std::invalid_argument("TokenRing: bad node");
   if (t < last_call_) {

@@ -28,6 +28,13 @@ class TokenRing {
   /// Time the channel becomes free after the last granted hold.
   Cycle free_at() const { return free_at_; }
 
+  /// Fault hook (DESIGN.md §11): the circulating token is lost at time `t`.
+  /// The self-correction protocol detects the silence by timeout and node 0
+  /// regenerates the token `regen` cycles later; no writer can be granted in
+  /// between, so the channel horizon advances to max(t, free_at) + regen.
+  /// Like acquire(), calls must arrive in simulation time order.
+  void lose_token(Cycle t, Cycle regen);
+
   /// Token position at time `t` assuming no further grants (for tests).
   NodeId position_at(Cycle t) const;
 

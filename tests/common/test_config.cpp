@@ -18,9 +18,48 @@ TEST(Config, IgnoresCommentsAndBlankLines) {
   EXPECT_EQ(cfg.get_int("a"), 2);
 }
 
-TEST(Config, LaterAssignmentWins) {
-  const auto cfg = Config::from_string("a = 1\na = 2\n");
+TEST(Config, DuplicateKeyIsAHardError) {
+  // A key assigned twice in one file is almost always a stale edit; silently
+  // honoring the later line made the earlier one a lie. The error names both
+  // lines.
+  try {
+    Config::from_string("a = 1\nb = 2\na = 3\n");
+    FAIL() << "expected duplicate-key error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'a'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Config, ProgrammaticSetStillOverwrites) {
+  // set() (and merge(), below) keep last-wins semantics: sweeps patch parsed
+  // configs programmatically, and that is not the stale-edit failure mode the
+  // duplicate-line error guards against.
+  auto cfg = Config::from_string("a = 1\n");
+  cfg.set_int("a", 2);
   EXPECT_EQ(cfg.get_int("a"), 2);
+}
+
+TEST(Config, RequireKeysInAcceptsKnownAndForeignKeys) {
+  const auto cfg =
+      Config::from_string("fault.seed = 3\nonoc.wavelengths = 64\n");
+  // Keys outside the prefix are someone else's vocabulary; known keys pass.
+  EXPECT_NO_THROW(cfg.require_keys_in("fault.", {"seed", "max_retries"}));
+}
+
+TEST(Config, RequireKeysInRejectsUnknownKeyWithLine) {
+  const auto cfg = Config::from_string("x = 1\nfault.sede = 3\n");
+  try {
+    cfg.require_keys_in("fault.", {"seed"});
+    FAIL() << "expected unknown-key error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fault.sede"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("fault.seed"), std::string::npos) << what;
+  }
 }
 
 TEST(Config, MissingKeyThrowsWithoutDefault) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -44,6 +45,41 @@ TEST(Histogram, PercentileEdges) {
   EXPECT_EQ(h.percentile(0.0), 0u);
   EXPECT_EQ(h.percentile(1.0), 99u);
   EXPECT_EQ(h.percentile(0.99), 98u);
+}
+
+TEST(Histogram, PercentileEmptyDefinedForAnyQuantile) {
+  const Histogram h;
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+  EXPECT_EQ(h.percentile(-2.0), 0u);
+  EXPECT_EQ(h.percentile(7.0), 0u);
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+TEST(Histogram, PercentileSingleSampleIsThatSample) {
+  Histogram h;
+  h.add(42);
+  EXPECT_EQ(h.percentile(0.0), 42u);
+  EXPECT_EQ(h.percentile(0.5), 42u);
+  EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeQuantiles) {
+  Histogram h;
+  for (const std::uint64_t v : {10, 20, 30}) h.add(v);
+  // q <= 0 clamps to the smallest recorded value, q >= 1 to the largest.
+  EXPECT_EQ(h.percentile(-0.5), 10u);
+  EXPECT_EQ(h.percentile(1.5), 30u);
+  EXPECT_EQ(h.percentile(-std::numeric_limits<double>::infinity()), 10u);
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::infinity()), 30u);
+}
+
+TEST(Histogram, PercentileNanBehavesLikeZero) {
+  Histogram h;
+  for (const std::uint64_t v : {10, 20, 30}) h.add(v);
+  // NaN must not reach std::clamp (unspecified) or the rank cast (UB).
+  EXPECT_EQ(h.percentile(std::numeric_limits<double>::quiet_NaN()), 10u);
 }
 
 TEST(Histogram, OverflowRegionExact) {

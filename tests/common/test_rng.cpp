@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace sctm {
@@ -82,6 +84,76 @@ TEST(Rng, ExponentialMean) {
   const int n = 200000;
   for (int i = 0; i < n; ++i) sum += r.next_exponential(4.0);
   EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, BoolDegenerateProbabilitiesAreExact) {
+  // p <= 0 never fires and p >= 1 always fires — exactly, not "with high
+  // probability" — and the degenerate cases consume no stream state, so a
+  // fault spec with a 0.0 rate leaves every other draw untouched.
+  Rng r(23);
+  const std::uint64_t before = Rng(23).next_u64();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_FALSE(r.next_bool(-1.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+    EXPECT_TRUE(r.next_bool(2.0));
+  }
+  EXPECT_EQ(r.next_u64(), before);  // no state consumed by the loop above
+}
+
+TEST(Rng, BoolHandlesNonFiniteProbability) {
+  Rng r(29);
+  EXPECT_FALSE(r.next_bool(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_TRUE(r.next_bool(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(r.next_bool(-std::numeric_limits<double>::infinity()));
+}
+
+TEST(Rng, RangeFullInt64SpanNoOverflow) {
+  // lo = INT64_MIN, hi = INT64_MAX: the span + 1 would overflow a uint64;
+  // the implementation must special-case it rather than wrap to
+  // next_below(0).
+  Rng r(31);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.next_range(
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max());
+    saw_negative |= v < 0;
+    saw_positive |= v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, RangeExtremeBoundsStayInRange) {
+  Rng r(37);
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(r.next_range(lo, lo + 1), lo + 1);
+    EXPECT_GE(r.next_range(lo, lo + 1), lo);
+  }
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(r.next_range(hi, hi), hi);
+  EXPECT_EQ(r.next_range(lo, lo), lo);
+}
+
+TEST(Rng, ExponentialDegenerateMeans) {
+  // mean <= 0 (or NaN) returns 0 rather than NaN/-inf, consuming no state.
+  Rng r(41);
+  const std::uint64_t before = Rng(41).next_u64();
+  EXPECT_EQ(r.next_exponential(0.0), 0.0);
+  EXPECT_EQ(r.next_exponential(-3.0), 0.0);
+  EXPECT_EQ(r.next_exponential(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  EXPECT_EQ(r.next_u64(), before);
+}
+
+TEST(Rng, ExponentialAlwaysFiniteNonNegative) {
+  Rng r(43);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = r.next_exponential(2.0);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
 }
 
 TEST(Rng, SplitProducesIndependentStream) {
