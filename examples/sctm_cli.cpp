@@ -5,7 +5,8 @@
 //   sctm_cli replay   --trace /tmp/t.trc2 --net onoc-token [--mode sctm]
 //                     [--window W] [--iters-max 8] [--csv out.csv]
 //   sctm_cli explore  --trace /tmp/t.trc2 --candidates cands.cfg
-//                     [--threads N] [--mode sctm] [--window W] [--csv out.csv]
+//                     [--screen-top K] [--threads N] [--mode sctm]
+//                     [--window W] [--csv out.csv]
 //   sctm_cli inspect  --trace /tmp/t.trc2 [--text]
 //   sctm_cli exec     --app fft --net onoc-setup [...]   (execution-driven)
 //   sctm_cli validate --json metrics.json     (schema-check a metrics doc)
@@ -25,7 +26,7 @@
 // per-phase timing + stat-registry snapshot + results); `validate` is the
 // matching schema checker, used by CI as the emission gate.
 //
-// Networks: ideal | enoc | onoc-token | onoc-setup | hybrid.
+// Networks: ideal | enoc | onoc-token | onoc-setup | onoc-swmr | hybrid.
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -39,6 +40,7 @@
 #include "common/parallel.hpp"
 #include "common/run_metrics.hpp"
 #include "common/table.hpp"
+#include "analytic/screen.hpp"
 #include "core/driver.hpp"
 #include "core/error_metrics.hpp"
 #include "core/experiment.hpp"
@@ -65,7 +67,8 @@ using namespace sctm;
       "[--window W] [--iters-max N] [--threads N] [--csv <file>] "
       "[--mesh WxH] [--faults <cfg>]\n"
       "  sctm_cli explore --trace <file> --candidates <config> "
-      "[--threads N] [--tick-threads N] [--mode naive|sctm] [--window W] "
+      "[--screen-top K] [--threads N] [--tick-threads N] "
+      "[--mode naive|sctm] [--window W] "
       "[--iters-max N] [--csv <file>] [--faults <cfg>]\n"
       "  sctm_cli inspect --trace <file> [--text]\n"
       "  sctm_cli exec    --app <name> --net <kind> [--cores N] [--lines N] "
@@ -82,7 +85,10 @@ using namespace sctm;
       "run metrics)\n"
       "--faults reads a config of fault.* keys (rates, timeouts, seed) and "
       "runs the network with deterministic fault injection\n"
-      "networks: ideal enoc onoc-token onoc-setup hybrid\n"
+      "--screen-top K ranks every candidate with the tier-0 analytic model "
+      "and replays only the top K (explore.screen.top_k in the config does "
+      "the same)\n"
+      "networks: ideal enoc onoc-token onoc-setup onoc-swmr hybrid\n"
       "apps: jacobi fft lu sort barnes stream\n");
   std::exit(2);
 }
@@ -109,6 +115,7 @@ core::NetKind net_kind(const std::string& s) {
   if (s == "enoc") return core::NetKind::kEnoc;
   if (s == "onoc-token") return core::NetKind::kOnocToken;
   if (s == "onoc-setup") return core::NetKind::kOnocSetup;
+  if (s == "onoc-swmr") return core::NetKind::kOnocSwmr;
   if (s == "hybrid") return core::NetKind::kHybrid;
   usage(("unknown network " + s).c_str());
 }
@@ -299,41 +306,17 @@ int cmd_replay(const std::map<std::string, std::string>& f) {
   return 0;
 }
 
-/// Parses a candidates config into named NetSpecs. Each candidate is a
-/// namespace of "candidate.<name>.<param>" keys; the per-candidate params
-/// use the experiment-config vocabulary (net.kind, net.mesh_width/height,
-/// enoc.*, onoc.*, hybrid.*, fault.*), e.g.:
-///
-///   candidate.baseline.net.kind  = enoc
-///   candidate.wide.net.kind      = onoc-token
-///   candidate.wide.onoc.wavelengths = 64
-std::vector<core::Candidate> candidates_from(const Config& cfg) {
-  std::map<std::string, Config> subs;  // name -> per-candidate config
-  for (const auto& key : cfg.keys()) {
-    constexpr std::string_view kPrefix = "candidate.";
-    if (key.rfind(kPrefix, 0) != 0) continue;
-    const std::string rest = key.substr(kPrefix.size());
-    const auto dot = rest.find('.');
-    if (dot == std::string::npos || dot == 0) {
-      usage(("candidates file: expected candidate.<name>.<param>, got " + key)
-                .c_str());
-    }
-    subs[rest.substr(0, dot)].set(rest.substr(dot + 1), cfg.get_string(key));
-  }
-  if (subs.empty()) usage("candidates file has no candidate.<name>.* keys");
-  std::vector<core::Candidate> out;
-  out.reserve(subs.size());
-  for (auto& [name, sub] : subs) {
-    out.push_back({name, core::netspec_from_config(sub, "net")});
-  }
-  return out;
-}
-
 int cmd_explore(const std::map<std::string, std::string>& f) {
   const auto& tr = require_flag(f, "trace");
   const auto& cand_path = require_flag(f, "candidates");
-  const auto trace = trace::read_binary_file(tr);
-  auto candidates = candidates_from(Config::from_file(cand_path));
+  // v2 containers stream chunk-at-a-time into the replay representation.
+  const auto rt = core::load_replay_trace(tr);
+  // The candidates config carries both the design space
+  // (candidate.<name>.<param> in the experiment vocabulary) and, optionally,
+  // the screen setting (explore.screen.top_k); parse errors come back with
+  // file:line anchors.
+  const Config cand_cfg = Config::from_file(cand_path);
+  auto candidates = core::candidates_from_config(cand_cfg, cand_path);
   // --faults supplies the shared fault regime; a candidate's own fault.*
   // keys (if any) win over it.
   if (const auto it = f.find("faults"); it != f.end()) {
@@ -343,28 +326,43 @@ int cmd_explore(const std::map<std::string, std::string>& f) {
       if (c.spec.fault == fault::FaultSpec{}) c.spec.fault = shared;
     }
   }
-  const core::ReplayConfig cfg = replay_cfg_from(f);
-  unsigned threads = 0;
+  core::ExploreConfig base;
+  base.replay = replay_cfg_from(f);
   if (const auto it = f.find("threads"); it != f.end()) {
-    threads = static_cast<unsigned>(std::stoul(it->second));
+    base.threads = static_cast<unsigned>(std::stoul(it->second));
+  }
+  core::ExploreConfig cfg = core::explore_config_from(cand_cfg, base);
+  if (const auto it = f.find("screen-top"); it != f.end()) {
+    const long k = std::stol(it->second);
+    if (k < 1) {
+      usage("--screen-top must be >= 1 (a screen that confirms no candidate "
+            "is a config bug; omit the flag to replay everything)");
+    }
+    cfg.screen_top_k = static_cast<std::size_t>(k);
   }
 
-  const auto results = core::explore(trace, candidates, cfg, threads);
+  const auto results = analytic::explore_screened(rt, candidates, cfg);
+  const bool screened = cfg.screen_top_k != 0;
 
   Table t("explore");
-  t.set_header({"rank", "candidate", "runtime", "latency_mean", "latency_p99",
-                "iterations", "wall_s"});
+  t.set_header({"rank", "candidate", "tier", "est_runtime", "runtime",
+                "latency_mean", "latency_p99", "iterations", "wall_s"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     t.add_row({Table::fmt(static_cast<std::uint64_t>(i + 1)), r.name,
-               Table::fmt(std::uint64_t{r.runtime}), Table::fmt(r.mean_latency, 1),
-               Table::fmt(std::uint64_t{r.p99_latency}),
-               Table::fmt(static_cast<std::int64_t>(r.iterations)),
-               Table::fmt(r.wall_seconds, 4)});
+               r.replayed ? (screened ? "replay" : "full") : "analytic",
+               r.analytic_rank != 0 ? Table::fmt(r.est_runtime, 0) : "-",
+               r.replayed ? Table::fmt(std::uint64_t{r.runtime}) : "-",
+               r.replayed ? Table::fmt(r.mean_latency, 1) : "-",
+               r.replayed ? Table::fmt(std::uint64_t{r.p99_latency}) : "-",
+               r.replayed ? Table::fmt(static_cast<std::int64_t>(r.iterations))
+                          : "-",
+               r.replayed ? Table::fmt(r.wall_seconds, 4) : "-"});
   }
   std::fputs(t.to_ascii().c_str(), stdout);
-  std::printf("explored %zu candidate(s) over %zu records (%s), best: %s\n",
-              results.size(), trace.records.size(), core::to_string(cfg.mode),
+  std::printf("explored %zu candidate(s) over %u records (%s%s), best: %s\n",
+              results.size(), rt.size(), core::to_string(cfg.replay.mode),
+              screened ? ", screened" : "",
               results.empty() ? "-" : results.front().name.c_str());
   if (const auto csv = f.find("csv"); csv != f.end()) {
     t.write_csv(csv->second);
@@ -372,42 +370,16 @@ int cmd_explore(const std::map<std::string, std::string>& f) {
   }
 
   if (f.count("stats-json")) {
-    RunMetrics m;
-    m.manifest.tool = "sctm_cli explore";
-    m.manifest.created = now_iso8601();
-    m.manifest.set("trace", core::trace_id(trace));
-    m.manifest.set("candidates", static_cast<std::int64_t>(candidates.size()));
-    m.manifest.set("mode", core::to_string(cfg.mode));
+    RunMetrics m = core::metrics_for_explore(rt, candidates, cfg, results,
+                                             "sctm_cli explore",
+                                             now_iso8601());
     // Resolved thread counts (S2): `0 = hardware` resolves through the one
     // resolve_threads() convention, so the manifest records the lane counts
     // the run actually used — candidate workers and per-session tick lanes.
     m.manifest.set("explore_workers",
-                   static_cast<std::int64_t>(resolve_threads(threads)));
-    m.manifest.set("tick_threads",
                    static_cast<std::int64_t>(resolve_threads(cfg.threads)));
-    JsonWriter results_json;
-    results_json.begin_object();
-    results_json.key("ranking");
-    results_json.begin_array();
-    for (const auto& r : results) {
-      results_json.begin_object();
-      results_json.key("name");
-      results_json.value(r.name);
-      results_json.key("runtime_cycles");
-      results_json.value(std::uint64_t{r.runtime});
-      results_json.key("latency_mean");
-      results_json.value(r.mean_latency);
-      results_json.key("latency_p99");
-      results_json.value(std::uint64_t{r.p99_latency});
-      results_json.key("iterations");
-      results_json.value(static_cast<std::int64_t>(r.iterations));
-      results_json.key("wall_seconds");
-      results_json.value(r.wall_seconds);
-      results_json.end_object();
-    }
-    results_json.end_array();
-    results_json.end_object();
-    m.set_results_json(std::move(results_json).str());
+    m.manifest.set("tick_threads",
+                   static_cast<std::int64_t>(resolve_threads(cfg.replay.threads)));
     maybe_emit_stats_json(f, m);
   }
   return 0;

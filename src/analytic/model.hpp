@@ -1,0 +1,70 @@
+// Tier-0 analytic latency estimators, one per NetKind.
+//
+// Each model maps a TraceProfile plus a candidate NetSpec to an
+// AnalyticResult in O(nodes^2 * classes) — no events, no records. The
+// estimators follow the priority-class queueing treatment of Mandal et al.
+// ("Analytical Performance Models for NoCs with Multiple Priority Traffic
+// Classes"): each shared resource (a mesh link, an optical receive/source
+// channel, the shared pool) is an M/G/1-style station fed by the profile's
+// offered-load matrix, and a message's latency is its zero-load path time
+// plus the waiting terms of every station on its path. DESIGN.md §12 gives
+// the per-kind equations and the known blind spots.
+//
+// Estimates are consistent with replay in the two regimes the tests pin
+// down: they agree exactly with replay on a contention-free single-flow
+// trace over the ideal network, and they are monotone in offered load and
+// in `link_latency`.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "analytic/trace_profile.hpp"
+#include "core/driver.hpp"
+
+namespace sctm::analytic {
+
+struct AnalyticResult {
+  /// Estimated application-visible runtime (last arrival), cycles.
+  double est_runtime = 0;
+  /// Estimated mean / p99 message latency, cycles.
+  double est_mean_latency = 0;
+  double est_p99 = 0;
+  /// Mean latency per message class (0 for classes absent from the trace).
+  std::array<double, noc::kMsgClassCount> per_class{};
+};
+
+/// One latency estimator, bound to a candidate's topology and parameters.
+class AnalyticModel {
+ public:
+  virtual ~AnalyticModel() = default;
+  virtual const char* name() const = 0;
+
+  /// Full estimate: latency core plus the profile's critical-path envelope
+  /// and throughput bound combined into est_runtime.
+  AnalyticResult estimate(const TraceProfile& p) const;
+
+  /// Intermediate per-message quantities, exposed for the hybrid mix and
+  /// the tests. `weight` is the message count this core covers (the hybrid
+  /// steers disjoint subsets through two cores and recombines by weight).
+  struct LatencyCore {
+    double weight = 0;
+    double mean_latency = 0;   // includes waiting
+    double mean_wait = 0;      // waiting share of mean_latency
+    double max_zero_load = 0;  // slowest pair at zero load
+    double bottleneck_busy = 0;  // busy cycles on the most-loaded resource
+    std::array<double, noc::kMsgClassCount> class_weight{};
+    std::array<double, noc::kMsgClassCount> class_latency{};  // means
+  };
+  virtual LatencyCore core(const TraceProfile& p) const = 0;
+};
+
+/// Builds the estimator for `spec` (resolving NetKind to the arbitration
+/// scheme exactly as core::make_factory does). Throws on unsupported
+/// topologies, mirroring the simulators' own constructors.
+std::unique_ptr<AnalyticModel> make_model(const core::NetSpec& spec);
+
+/// One-shot convenience: make_model(spec)->estimate(p).
+AnalyticResult estimate(const TraceProfile& p, const core::NetSpec& spec);
+
+}  // namespace sctm::analytic

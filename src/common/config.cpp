@@ -94,6 +94,12 @@ bool Config::contains(std::string_view key) const {
   return values_.find(key) != values_.end();
 }
 
+std::optional<std::size_t> Config::source_line(std::string_view key) const {
+  const auto it = lines_.find(key);
+  if (it == lines_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::optional<std::string> Config::lookup(std::string_view key) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return std::nullopt;

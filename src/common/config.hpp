@@ -63,6 +63,11 @@ class Config {
   void require_keys_in(std::string_view prefix,
                        std::initializer_list<std::string_view> allowed) const;
 
+  /// Source line of `key` when this config was parsed from text (1-based);
+  /// nullopt for keys set programmatically. Error attribution for consumers
+  /// that validate whole namespaces (candidate lists, screen settings).
+  std::optional<std::size_t> source_line(std::string_view key) const;
+
   /// All keys in sorted order.
   std::vector<std::string> keys() const;
 

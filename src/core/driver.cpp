@@ -270,15 +270,20 @@ RunMetrics replay_metrics_impl(std::string trace_ident, std::int32_t nodes,
 RunMetrics metrics_for_replay(const trace::Trace& trace, const NetSpec& net,
                               const ReplayConfig& config, const ReplayRun& run,
                               std::string tool, std::string created) {
-  return replay_metrics_impl(trace_id(trace), trace.nodes, net, config, run,
-                             std::move(tool), std::move(created));
+  RunMetrics m = replay_metrics_impl(trace_id(trace), trace.nodes, net, config,
+                                     run, std::move(tool), std::move(created));
+  m.manifest.set("trace_content_hash",
+                 tracestore::hash_hex(tracestore::content_hash(trace)));
+  return m;
 }
 
 RunMetrics metrics_for_replay(const ReplayTrace& rt, const NetSpec& net,
                               const ReplayConfig& config, const ReplayRun& run,
                               std::string tool, std::string created) {
-  return replay_metrics_impl(trace_id(rt), rt.nodes(), net, config, run,
-                             std::move(tool), std::move(created));
+  RunMetrics m = replay_metrics_impl(trace_id(rt), rt.nodes(), net, config,
+                                     run, std::move(tool), std::move(created));
+  m.manifest.set("trace_content_hash", tracestore::hash_hex(rt.content_hash()));
+  return m;
 }
 
 }  // namespace sctm::core

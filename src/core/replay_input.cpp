@@ -32,6 +32,9 @@ ReplayTrace ReplayTrace::from_store(const tracestore::TraceReader& reader,
 void ReplayTrace::set_meta(std::string app, std::string capture_network,
                            std::int32_t nodes, Cycle capture_runtime,
                            std::uint64_t seed) {
+  tracestore::Fnv1a64 h(hash_state_);
+  tracestore::hash_meta(h, app, capture_network, nodes, capture_runtime, seed);
+  hash_state_ = h.value();
   app_ = std::move(app);
   capture_network_ = std::move(capture_network);
   nodes_ = nodes;
@@ -56,6 +59,9 @@ void ReplayTrace::append(const trace::TraceRecord& r) {
     throw std::logic_error("ReplayTrace: append after finalize");
   }
   if (dep_offset_.empty()) dep_offset_.push_back(0);
+  tracestore::Fnv1a64 h(hash_state_);
+  tracestore::hash_record(h, r);
+  hash_state_ = h.value();
   id_.push_back(r.id);
   src_.push_back(r.src);
   dst_.push_back(r.dst);

@@ -51,6 +51,13 @@ class ReplayTrace {
   void finalize();
   bool finalized() const { return finalized_; }
 
+  /// Canonical trace identity: identical to tracestore::content_hash() of
+  /// the trace these records came from, folded incrementally as set_meta()
+  /// and append() stream by (so the streaming path never materializes a
+  /// trace::Trace just to hash it). Run manifests record it so a ranking is
+  /// attributable to an exact trace, and it keys the tracestore catalog.
+  std::uint64_t content_hash() const { return hash_state_; }
+
   // -- meta ---------------------------------------------------------------
   const std::string& app() const { return app_; }
   const std::string& capture_network() const { return capture_network_; }
@@ -113,6 +120,10 @@ class ReplayTrace {
 
   std::vector<std::uint32_t> child_offset_;  // size()+1 after finalize
   std::vector<std::uint32_t> children_;
+
+  /// FNV-1a/64 state (offset basis before any update), advanced by
+  /// set_meta()/append() through the tracestore canonical-hash helpers.
+  std::uint64_t hash_state_ = 0xcbf29ce484222325ull;
 
   bool finalized_ = false;
 };

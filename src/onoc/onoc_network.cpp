@@ -140,8 +140,7 @@ void OnocNetwork::route_to_arbitration(const noc::Message& msg) {
     for (std::size_t c = 1; c < pool_free_.size(); ++c) {
       if (pool_free_[c] < pool_free_[best]) best = c;
     }
-    const Cycle arb = params_.token_hop_latency *
-                      static_cast<Cycle>(topo_.node_count()) / 2;
+    const Cycle arb = params_.token_round_cycles(topo_.node_count()) / 2;
     const Cycle earliest = sim().now() + arb;
     const Cycle start =
         pool_free_[best] > earliest ? pool_free_[best] : earliest;

@@ -72,6 +72,13 @@ struct OnocParams {
   /// `fabric_width` tiles per edge (>= 1 cycle).
   Cycle tof_cycles(int tile_hops, int fabric_width) const;
 
+  /// One full token circulation past `nodes` writers — the arbitration
+  /// round of the token-ring and shared-pool schemes. Half a round is the
+  /// mean wait for a free token requested at a uniformly random moment.
+  Cycle token_round_cycles(int nodes) const {
+    return token_hop_latency * static_cast<Cycle>(nodes);
+  }
+
   void validate() const {
     if (wavelengths < 1 || gbps_per_wavelength <= 0 || clock_ghz <= 0) {
       throw std::invalid_argument("OnocParams: non-positive channel spec");

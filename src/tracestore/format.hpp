@@ -128,6 +128,11 @@ inline std::uint32_t crc32(const void* data, std::size_t len) {
 /// Incremental FNV-1a over 64 bits; fnv("") == 0xcbf29ce484222325.
 class Fnv1a64 {
  public:
+  Fnv1a64() = default;
+  /// Resumes hashing from a previously exported value() — incremental
+  /// hashers (core::ReplayTrace) carry the raw state between updates.
+  explicit Fnv1a64(std::uint64_t state) : state_(state) {}
+
   void update(const void* data, std::size_t len) {
     const auto* p = static_cast<const unsigned char*>(data);
     std::uint64_t h = state_;

@@ -60,10 +60,14 @@ class SpanReader {
   std::size_t pos_ = 0;
 };
 
+}  // namespace
+
 // --- canonical content hashing ------------------------------------------
 // The hash is over the *logical* trace (meta + records in v1 field order),
 // not the container bytes, so a trace hashes identically in v1 and v2 form
-// and `sctm_cli trace hash` is a format-independent identity.
+// and `sctm_cli trace hash` is a format-independent identity. Declared in
+// trace_store.hpp so streaming hashers (core::ReplayTrace) fold the same
+// canonical field stream incrementally.
 
 void hash_meta(Fnv1a64& h, const std::string& app, const std::string& net,
                std::int32_t nodes, Cycle runtime, std::uint64_t seed) {
@@ -91,6 +95,8 @@ void hash_record(Fnv1a64& h, const trace::TraceRecord& r) {
     h.update_scalar(static_cast<std::uint64_t>(d.slack));
   }
 }
+
+namespace {
 
 // --- byte sources --------------------------------------------------------
 

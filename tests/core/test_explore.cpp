@@ -95,9 +95,9 @@ TEST(Explore, EqualSpecCandidatesYieldIdenticalResults) {
   }
 }
 
-TEST(Explore, EmptySpaceYieldsNothing) {
+TEST(Explore, EmptySpaceIsAnError) {
   const auto trace = capture_fft();
-  EXPECT_TRUE(explore(trace, {}).empty());
+  EXPECT_THROW(explore(trace, {}), std::invalid_argument);
 }
 
 TEST(Explore, MoreWavelengthsRankHigher) {
@@ -111,6 +111,75 @@ TEST(Explore, MoreWavelengthsRankHigher) {
   }
   const auto results = explore(trace, space);
   EXPECT_EQ(results.front().name, "l64");
+}
+
+// -- candidate-config parsing (the CLI's error surface) ----------------------
+
+TEST(ExploreConfigParse, ValidCandidatesAndScreenKey) {
+  const auto cfg = Config::from_string(
+      "explore.screen.top_k = 2\n"
+      "candidate.base.net.kind = enoc\n"
+      "candidate.wide.net.kind = onoc-token\n"
+      "candidate.wide.onoc.wavelengths = 64\n");
+  const auto cands = candidates_from_config(cfg, "cands.cfg");
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].name, "base");
+  EXPECT_EQ(cands[1].name, "wide");
+  EXPECT_EQ(cands[1].spec.onoc.wavelengths, 64);
+  EXPECT_EQ(explore_config_from(cfg).screen_top_k, 2u);
+}
+
+TEST(ExploreConfigParse, EmptyDesignSpaceIsAnError) {
+  try {
+    candidates_from_config(Config::from_string("# only comments\n"),
+                           "empty.cfg");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty.cfg"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("no candidate"), std::string::npos);
+  }
+}
+
+TEST(ExploreConfigParse, MalformedKeysCarrySourceLine) {
+  // Line 2 holds the malformed key; the message must point at it.
+  try {
+    candidates_from_config(
+        Config::from_string("candidate.a.net.kind = enoc\ncandidate.b = 1\n"),
+        "bad.cfg");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.cfg:2"), std::string::npos);
+  }
+  // Unknown top-level namespaces are errors too, not silently ignored.
+  EXPECT_THROW(candidates_from_config(
+                   Config::from_string("candidates.a.net.kind = enoc\n"),
+                   "typo.cfg"),
+               std::runtime_error);
+}
+
+TEST(ExploreConfigParse, UnbuildableCandidateNamesItself) {
+  try {
+    candidates_from_config(
+        Config::from_string("candidate.bad.net.kind = warp-drive\n"),
+        "space.cfg");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("space.cfg:1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("candidate 'bad'"),
+              std::string::npos);
+  }
+}
+
+TEST(ExploreConfigParse, ZeroTopKIsAnError) {
+  EXPECT_THROW(
+      explore_config_from(Config::from_string("explore.screen.top_k = 0\n")),
+      std::runtime_error);
+  EXPECT_THROW(
+      explore_config_from(Config::from_string("explore.screen.top_k = -3\n")),
+      std::runtime_error);
+  EXPECT_THROW(
+      explore_config_from(Config::from_string("explore.screen.topk = 2\n")),
+      std::runtime_error);
 }
 
 }  // namespace
