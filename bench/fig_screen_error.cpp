@@ -1,8 +1,9 @@
 // BENCH_analytic_screen — tier-0 estimator error and screening recall.
 //
 // For every standard workload, captures a trace on the ENoC baseline, then
-// ranks a 9-candidate design space (all six network kinds plus parameter
-// variants) twice: the ground truth with full self-correcting replay, and
+// ranks a 10-candidate design space (all six network kinds plus parameter
+// variants, including an ENoC over a 3D mesh of the same node count) twice:
+// the ground truth with full self-correcting replay, and
 // the tier-0 analytic screen. Reports, per candidate, estimated versus
 // replayed runtime and the relative error; per network kind, the mean
 // error; per workload, the top-3 recall of the screen.
@@ -47,6 +48,11 @@ std::vector<Cand> design_space() {
   out.back().c.spec.enoc.flit_bytes = 32;
   add("enoc-slow", core::NetKind::kEnoc, "enoc");
   out.back().c.spec.enoc.link_latency = 4;
+  add("enoc-mesh3d", core::NetKind::kEnoc, "enoc-3d");
+  // Same 16 nodes folded into a 4x2x2 lattice (the trace pins the node
+  // count), XYZ-routed: the estimator must hold its ceiling on 3D kinds too.
+  out.back().c.spec.topo = noc::Topology::mesh3d(4, 2, 2);
+  out.back().c.spec.enoc.routing = noc::default_algo(out.back().c.spec.topo);
   add("onoc-token", core::NetKind::kOnocToken, "onoc-token");
   add("onoc-setup", core::NetKind::kOnocSetup, "onoc-setup");
   add("onoc-swmr", core::NetKind::kOnocSwmr, "onoc-swmr");

@@ -1,7 +1,7 @@
 // Parallel-replay bench: sharded ticking + sharded replay phases vs serial.
 //
-// Replays four 8x8 workloads with 1, 2 and 4 worker threads on one
-// long-lived ReplaySession each:
+// Replays five 64-node workloads (8x8 mesh, and one 4x4x4 3D mesh) with
+// 1, 2 and 4 worker threads on one long-lived ReplaySession each:
 //
 //  * saturated      — dense ENoC bursts, most routers hold flits most
 //                     cycles: the router-tick sharding sweet spot.
@@ -13,6 +13,9 @@
 //                     sort busy.
 //  * hybrid         — the same dependency-dense mix steered across both
 //                     planes, each sharding its own per-cycle flush.
+//  * mesh3d_saturated — the dense bursts on a 4x4x4 3D mesh with XYZ
+//                     routing: the graph-backed topology core and the
+//                     variable-radix router path under full load.
 //
 // Every configuration's schedule must be bit-identical to serial (the
 // engine's core claim; always enforced). The speedup floors (saturated
@@ -66,21 +69,22 @@ double best_seconds(int reps, const std::function<void()>& fn) {
 /// delivered-dependency scan and every cycle's injection batch goes through
 /// the (sharded) eligibility sort.
 trace::Trace make_workload(int bursts, int msgs_per_burst, Cycle stride,
-                           std::uint32_t bytes, bool with_deps = false) {
+                           std::uint32_t bytes, bool with_deps = false,
+                           NodeId nodes = 64) {
   constexpr int kLookback = 3;           // dep parents: 3 bursts back
   const Cycle nominal = with_deps ? 4 : 40;  // replay re-times anyway
   trace::Trace t;
   t.app = "synthetic";
   t.capture_network = "none";
-  t.nodes = 64;
+  t.nodes = nodes;
   MsgId id = 1;
   for (int b = 0; b < bursts; ++b) {
     for (int i = 0; i < msgs_per_burst; ++i) {
       trace::TraceRecord r;
       r.id = id++;
-      r.src = static_cast<NodeId>((b * 13 + i * 5) % 64);
-      r.dst = static_cast<NodeId>((i * 17 + b * 7 + 3) % 64);
-      if (r.dst == r.src) r.dst = (r.dst + 1) % 64;
+      r.src = static_cast<NodeId>((b * 13 + i * 5) % nodes);
+      r.dst = static_cast<NodeId>((i * 17 + b * 7 + 3) % nodes);
+      if (r.dst == r.src) r.dst = (r.dst + 1) % nodes;
       r.size_bytes = bytes;
       r.cls = noc::MsgClass::kData;
       r.inject_time = static_cast<Cycle>(b) * stride;
@@ -181,6 +185,12 @@ int run(bool smoke) {
   results.push_back(measure("onoc_saturated", rt_deps,
                             bench::onoc_token_spec(mesh), reps, 1.3));
   results.push_back(measure("hybrid", rt_deps, hybrid_spec, reps, 1.0));
+  // 3D lattice under the same dense bursts (64 nodes as a 4x4x4 cube, XYZ
+  // routing via enoc_spec's default_algo). The identity gate applies as
+  // everywhere; no speedup floor beyond parity.
+  results.push_back(measure("mesh3d_saturated", rt_sat,
+                            bench::enoc_spec(noc::Topology::mesh3d(4, 4, 4)),
+                            reps, 1.0));
 
   const unsigned hw = default_parallelism();
   const bool enforce_speedup = hw >= 4;

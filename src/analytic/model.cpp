@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "noc/route_table.hpp"
 #include "noc/routing.hpp"
 #include "onoc/loss.hpp"
 
@@ -109,6 +110,7 @@ AnalyticModel::LatencyCore ideal_core(const TraceProfile& p,
 AnalyticModel::LatencyCore enoc_core(const TraceProfile& p,
                                      const noc::Topology& topo,
                                      const enoc::EnocParams& prm,
+                                     const noc::RoutingTable& routes,
                                      const PairClassFilter& filter) {
   const int radix = topo.radix();
   const auto links =
@@ -177,14 +179,14 @@ AnalyticModel::LatencyCore enoc_core(const TraceProfile& p,
         walk_x();
       }
     } else {
-      NodeId cur = s;
-      while (cur != d) {
-        const int dir = noc::route_first(topo, prm.routing, s, cur, d);
+      // Every other kind/algorithm pair — torus DOR, ring, XYZ, up*/down*
+      // tables — walks the shared routing table the networks route with, so
+      // the model scores exactly the links the simulator would traverse.
+      routes.walk(s, d, [&](NodeId cur, int dir) {
         route.push_back(static_cast<std::uint32_t>(cur) *
                             static_cast<std::uint32_t>(radix) +
                         static_cast<std::uint32_t>(dir));
-        cur = topo.neighbor(cur, dir);
-      }
+      });
     }
     groups.push_back({f, g, rbegin, static_cast<std::uint32_t>(route.size())});
     f = g;
@@ -433,11 +435,12 @@ struct IdealModel final : AnalyticModel {
 struct EnocModel final : AnalyticModel {
   noc::Topology topo;
   enoc::EnocParams prm;
+  noc::RoutingTable routes;
   EnocModel(const noc::Topology& t, const enoc::EnocParams& pr)
-      : topo(t), prm(pr) {}
+      : topo(t), prm(pr), routes(t, pr.routing) {}
   const char* name() const override { return "enoc"; }
   LatencyCore core(const TraceProfile& p) const override {
-    return enoc_core(p, topo, prm, {});
+    return enoc_core(p, topo, prm, routes, {});
   }
 };
 
@@ -450,9 +453,6 @@ struct OnocModel final : AnalyticModel {
             onoc::Arbitration a, const fault::FaultSpec& fault)
       : topo(t), prm(pr), arb(a) {
     prm.validate();
-    if (topo.kind() != noc::Topology::Kind::kMesh) {
-      throw std::invalid_argument("analytic: ONOC tile layout must be a mesh");
-    }
     if (fault.enabled()) {
       // Same eroded-budget BER the simulator derives (onoc/loss.hpp).
       onoc::LossBudgetInputs in;
@@ -481,14 +481,11 @@ struct OnocModel final : AnalyticModel {
 struct HybridModel final : AnalyticModel {
   noc::Topology topo;
   onoc::HybridParams prm;
+  noc::RoutingTable routes;  // electrical plane
   double ber = 0;
   HybridModel(const noc::Topology& t, const onoc::HybridParams& pr,
               const fault::FaultSpec& fault)
-      : topo(t), prm(pr) {
-    if (topo.kind() != noc::Topology::Kind::kMesh) {
-      throw std::invalid_argument(
-          "analytic: hybrid tile layout must be a mesh");
-    }
+      : topo(t), prm(pr), routes(t, pr.electrical.routing) {
     if (fault.enabled()) {
       onoc::LossBudgetInputs in;
       in.nodes = topo.node_count();
@@ -527,7 +524,7 @@ struct HybridModel final : AnalyticModel {
       }
     }
     const LatencyCore el =
-        enoc_core(p, topo, prm.electrical, {&mask, false});
+        enoc_core(p, topo, prm.electrical, routes, {&mask, false});
     const LatencyCore op = onoc_core(p, topo, prm.optical,
                                      prm.optical.arbitration, ber,
                                      {&mask, true});

@@ -1,8 +1,53 @@
 #include "core/experiment.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "noc/routing.hpp"
 
 namespace sctm::core {
+
+namespace {
+
+/// "net config[:line]: " prefix for topology-key errors (line available only
+/// when the config was parsed from text).
+std::string at(const Config& cfg, const std::string& key) {
+  if (const auto line = cfg.source_line(key)) {
+    return "net config:" + std::to_string(*line) + ": ";
+  }
+  return "net config: ";
+}
+
+}  // namespace
+
+noc::Topology topology_from_config(const Config& cfg) {
+  const std::string kind = cfg.get_string("net.topology", "mesh");
+  const int w = static_cast<int>(cfg.get_int("net.mesh_width", 4));
+  const int h = static_cast<int>(cfg.get_int("net.mesh_height", 4));
+  if (kind == "mesh") return noc::Topology::mesh(w, h);
+  if (kind == "torus") return noc::Topology::torus(w, h);
+  if (kind == "ring") {
+    return noc::Topology::ring(
+        static_cast<int>(cfg.get_int("net.ring_nodes", w * h)));
+  }
+  if (kind == "mesh3d" || kind == "torus3d") {
+    const int d = static_cast<int>(cfg.get_int("net.mesh_depth", 2));
+    return kind == "mesh3d" ? noc::Topology::mesh3d(w, h, d)
+                            : noc::Topology::torus3d(w, h, d);
+  }
+  if (kind == "file") {
+    if (!cfg.contains("net.topology.file")) {
+      throw std::runtime_error(
+          at(cfg, "net.topology") +
+          "net.topology = file requires net.topology.file = <path>");
+    }
+    return noc::Topology::from_file(cfg.get_string("net.topology.file"));
+  }
+  throw std::runtime_error(at(cfg, "net.topology") +
+                           "net.topology: unknown kind '" + kind +
+                           "' (known: mesh, torus, ring, mesh3d, torus3d, "
+                           "file)");
+}
 
 NetKind net_kind_from(const std::string& name) {
   if (name == "ideal") return NetKind::kIdeal;
@@ -17,9 +62,7 @@ NetKind net_kind_from(const std::string& name) {
 NetSpec netspec_from_config(const Config& cfg, const std::string& which) {
   NetSpec spec;
   spec.kind = net_kind_from(cfg.get_string(which + ".kind", "enoc"));
-  const int w = static_cast<int>(cfg.get_int("net.mesh_width", 4));
-  const int h = static_cast<int>(cfg.get_int("net.mesh_height", 4));
-  spec.topo = noc::Topology::mesh(w, h);
+  spec.topo = topology_from_config(cfg);
   spec.ideal.base_latency = static_cast<Cycle>(
       cfg.get_int("ideal.base_latency",
                   static_cast<std::int64_t>(spec.ideal.base_latency)));
@@ -27,6 +70,11 @@ NetSpec netspec_from_config(const Config& cfg, const std::string& which) {
       cfg.get_int("ideal.per_hop_latency",
                   static_cast<std::int64_t>(spec.ideal.per_hop_latency)));
   spec.enoc = enoc::EnocParams::from_config(cfg);
+  if (!cfg.contains("enoc.routing")) {
+    // Without an explicit algorithm the fabric picks its natural one, so
+    // 3D and file topologies work out of the box ("xy" would reject them).
+    spec.enoc.routing = noc::default_algo(spec.topo);
+  }
   spec.onoc = onoc::OnocParams::from_config(cfg);
   spec.hybrid.electrical = spec.enoc;
   spec.hybrid.optical = spec.onoc;

@@ -5,7 +5,10 @@
 //   app.name / app.cores / app.lines_per_core / app.iterations / app.seed
 //   capture.kind, target.kind   (ideal|enoc|onoc-token|onoc-setup|
 //                                onoc-swmr|hybrid)
-//   net.mesh_width / net.mesh_height  (fabric, shared by both networks)
+//   net.topology  (mesh|torus|ring|mesh3d|torus3d|file; default mesh)
+//   net.mesh_width / net.mesh_height / net.mesh_depth  (lattice extents)
+//   net.ring_nodes                    (ring size; default width*height)
+//   net.topology.file                 (edge-list file for net.topology=file)
 //   enoc.* / onoc.* / fullsys.*       (forwarded to the module parsers)
 //   fault.*                           (fault injection; see fault/fault_spec)
 //   replay.mode (naive|sctm), replay.window, replay.max_iterations
@@ -22,9 +25,18 @@ namespace sctm::core {
 /// Parses a network kind name; throws std::invalid_argument on junk.
 NetKind net_kind_from(const std::string& name);
 
+/// Fabric from config: net.topology selects the kind (default mesh),
+/// net.mesh_width/height/depth and net.ring_nodes size the lattice kinds,
+/// net.topology.file names the edge-list file for net.topology = file.
+/// Errors carry the config source line when one is known.
+noc::Topology topology_from_config(const Config& cfg);
+
 /// NetSpec from config: `<which>.kind` selects the network, the fabric comes
-/// from net.mesh_width/height, module parameters from enoc.*/onoc.*, and the
-/// fault regime from fault.* (absent keys = inert spec).
+/// from topology_from_config(), module parameters from enoc.*/onoc.*, and
+/// the fault regime from fault.* (absent keys = inert spec). When the config
+/// has no explicit enoc.routing key the spec gets the topology's natural
+/// algorithm (noc::default_algo), so 3D and file fabrics run without extra
+/// keys.
 NetSpec netspec_from_config(const Config& cfg, const std::string& which);
 
 fullsys::AppParams app_from_config(const Config& cfg);

@@ -13,7 +13,9 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
                          const noc::Topology& topo, const EnocParams& params)
     : Network(sim, std::move(name), topo.node_count()),
       topo_(topo),
-      params_(params) {
+      params_(params),
+      routes_(topo, params.routing),
+      link_stride_(static_cast<std::size_t>(topo.radix())) {
   if (!noc::compatible(topo_, params_.routing)) {
     throw std::invalid_argument(this->name() +
                                 ": routing algorithm incompatible with " +
@@ -22,7 +24,8 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
   routers_.reserve(static_cast<std::size_t>(topo_.node_count()));
   for (NodeId n = 0; n < topo_.node_count(); ++n) {
     routers_.push_back(std::make_unique<Router>(
-        sim, this->name() + ".r" + std::to_string(n), n, topo_, params_));
+        sim, this->name() + ".r" + std::to_string(n), n, topo_, routes_,
+        params_));
   }
   active_bits_.assign((static_cast<std::size_t>(topo_.node_count()) + 63) / 64,
                       0);
@@ -33,7 +36,7 @@ EnocNetwork::EnocNetwork(Simulator& sim, std::string name,
 
 void EnocNetwork::install_fault_model(const fault::FaultSpec& spec) {
   Network::install_fault_model(spec);
-  link_stuck_until_.assign(routers_.size() * kLinkStride, 0);
+  link_stuck_until_.assign(routers_.size() * link_stride_, 0);
 }
 
 void EnocNetwork::reset() {
@@ -63,7 +66,8 @@ void EnocNetwork::reparameterize(const EnocParams& params) {
                                 ": routing algorithm incompatible with " +
                                 topo_.describe());
   }
-  params.validate(topo_.kind() != noc::Topology::Kind::kMesh);
+  params.validate(topo_.has_wrap_links());
+  routes_.rebuild(topo_, params.routing);
   for (auto& r : routers_) r->reparameterize(params);
   params_ = params;
   reset();
@@ -104,10 +108,7 @@ void EnocNetwork::apply_forward(NodeId node, int out_dir, const Flit& flit) {
   if (next == kInvalidNode) {
     throw std::logic_error(name() + ": flit forwarded off the fabric edge");
   }
-  const int arrival_port =
-      topo_.kind() == noc::Topology::Kind::kRing
-          ? (out_dir == noc::kRingCw ? noc::kRingCcw : noc::kRingCw)
-          : noc::Topology::opposite(out_dir);
+  const int arrival_port = topo_.arrival_port(node, out_dir);
   Flit f = flit;
   auto ev = [this, next, arrival_port, f] {
     routers_[static_cast<std::size_t>(next)]->receive_flit(arrival_port, f);
@@ -157,7 +158,7 @@ void EnocNetwork::apply_link_faults(NodeId node, int out_dir,
                                     const Flit& flit) {
   fault::FaultModel& fm = *fault_model();
   bool bad = false;
-  const std::size_t link = static_cast<std::size_t>(node) * kLinkStride +
+  const std::size_t link = static_cast<std::size_t>(node) * link_stride_ +
                            static_cast<std::size_t>(out_dir);
   if (fm.draw_link_stuck_onset()) {
     link_stuck_until_[link] = sim().now() + fm.spec().enoc_link_stuck_cycles;
@@ -213,10 +214,7 @@ void EnocNetwork::apply_credit(NodeId node, int in_dir, int vc) {
   if (up == kInvalidNode) {
     throw std::logic_error(name() + ": credit to nonexistent neighbor");
   }
-  const int up_out =
-      topo_.kind() == noc::Topology::Kind::kRing
-          ? (in_dir == noc::kRingCw ? noc::kRingCcw : noc::kRingCw)
-          : noc::Topology::opposite(in_dir);
+  const int up_out = topo_.arrival_port(node, in_dir);
   // A credit can unblock a router, but never *activate* one: a
   // credit-starved router still holds the blocked flits, so has_work() keeps
   // it in the active set until they drain.

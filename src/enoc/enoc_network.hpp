@@ -75,6 +75,9 @@ class EnocNetwork final : public noc::Network {
   void install_fault_model(const fault::FaultSpec& spec) override;
 
   const noc::Topology& topology() const { return topo_; }
+  /// The network-owned routing table (built once here, shared by every
+  /// router; rebuilt in place on reparameterize()).
+  const noc::RoutingTable& routes() const { return routes_; }
   const EnocParams& params() const { return params_; }
   Router& router(NodeId n) { return *routers_[static_cast<std::size_t>(n)]; }
 
@@ -149,6 +152,7 @@ class EnocNetwork final : public noc::Network {
 
   noc::Topology topo_;
   EnocParams params_;
+  noc::RoutingTable routes_;
   std::vector<std::unique_ptr<Router>> routers_;
   /// In-flight message table. Open-addressing with retained capacity: the
   /// per-message insert/erase pair stops hitting the heap once the table has
@@ -156,10 +160,11 @@ class EnocNetwork final : public noc::Network {
   FlatMap<MsgId, PendingMsg> pending_;
   /// Activity scoreboard: bit n set == router n has (or may have) work.
   std::vector<std::uint64_t> active_bits_;
-  /// Stuck-at fault state, indexed node * kLinkStride + out_dir: the cycle
+  /// Stuck-at fault state, indexed node * link_stride_ + out_dir: the cycle
   /// until which the link garbles every crossing flit. Empty unless a fault
-  /// model is installed.
-  static constexpr std::size_t kLinkStride = 8;
+  /// model is installed. The stride is the topology's max directional port
+  /// count (file fabrics may exceed the lattice kinds' fixed radix).
+  std::size_t link_stride_ = 0;
   std::vector<Cycle> link_stuck_until_;
   std::vector<ShardState> shards_;
   unsigned shards_in_use_ = 0;

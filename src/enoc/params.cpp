@@ -28,6 +28,8 @@ EnocParams EnocParams::from_config(const Config& cfg) {
   else if (algo == "odd-even") p.routing = noc::RoutingAlgo::kOddEven;
   else if (algo == "ring-shortest") p.routing = noc::RoutingAlgo::kRingShortest;
   else if (algo == "torus-dor") p.routing = noc::RoutingAlgo::kTorusDor;
+  else if (algo == "xyz") p.routing = noc::RoutingAlgo::kXyz;
+  else if (algo == "table") p.routing = noc::RoutingAlgo::kTable;
   else throw std::invalid_argument("enoc.routing: unknown algorithm " + algo);
 
   const std::string arb = cfg.get_string("enoc.arbiter", "round-robin");

@@ -21,14 +21,17 @@ std::unique_ptr<Arbiter> make_arbiter(ArbiterKind kind, int width) {
 }  // namespace
 
 Router::Router(Simulator& sim, std::string name, NodeId id,
-               const noc::Topology& topo, const EnocParams& params)
+               const noc::Topology& topo, const noc::RoutingTable& routes,
+               const EnocParams& params)
     : Component(sim, std::move(name)),
       id_(id),
       topo_(topo),
+      routes_(&routes),
       params_(params),
-      ports_(topo.port_count()),
+      ports_(topo.radix(id) + 1),
+      local_(topo.radix(id)),
       vcount_(params.total_vcs()),
-      needs_dateline_(topo.kind() != noc::Topology::Kind::kMesh),
+      needs_dateline_(topo.has_wrap_links()),
       stat_buffer_writes_(counter("buffer_writes")),
       stat_buffer_reads_(counter("buffer_reads")),
       stat_xbar_(counter("xbar_traversals")),
@@ -83,7 +86,7 @@ void Router::reset() {
   }
   for (auto& w : occ_) w = 0;
   for (int p = 0; p < ports_; ++p) {
-    const bool ejection = (p == topo_.local_port());
+    const bool ejection = (p == local_);
     for (int v = 0; v < vcount_; ++v) {
       auto& ovc = out_vc(p, v);
       ovc.credits = ejection ? kInfiniteCredits : params_.buffer_depth;
@@ -123,28 +126,6 @@ std::pair<int, int> Router::allowed_vcs(noc::MsgClass cls,
   return {lo, lo + half};
 }
 
-bool Router::is_wrap_link(int out_dir) const {
-  if (topo_.kind() == noc::Topology::Kind::kMesh) return false;
-  if (out_dir >= topo_.radix()) return false;
-  const noc::Coord c = topo_.coords(id_);
-  if (topo_.kind() == noc::Topology::Kind::kRing) {
-    const int n = topo_.node_count();
-    return (out_dir == noc::kRingCw && id_ == n - 1) ||
-           (out_dir == noc::kRingCcw && id_ == 0);
-  }
-  switch (out_dir) {
-    case noc::kEast: return c.x == topo_.width() - 1;
-    case noc::kWest: return c.x == 0;
-    case noc::kSouth: return c.y == topo_.height() - 1;
-    case noc::kNorth: return c.y == 0;
-  }
-  return false;
-}
-
-int Router::axis_of(int dir) {
-  return (dir == noc::kEast || dir == noc::kWest) ? 0 : 1;
-}
-
 void Router::receive_flit(int in_port, Flit flit) {
   assert(in_port >= 0 && in_port < ports_);
   assert(flit.vc >= 0 && flit.vc < vcount_);
@@ -161,7 +142,7 @@ void Router::receive_flit(int in_port, Flit flit) {
 void Router::receive_credit(int out_port, int vc) {
   auto& ovc = out_vc(out_port, vc);
   ++ovc.credits;
-  if (ovc.credits > params_.buffer_depth && out_port != topo_.local_port()) {
+  if (ovc.credits > params_.buffer_depth && out_port != local_) {
     throw std::logic_error(name() + ": credit overflow");
   }
 }
@@ -190,7 +171,7 @@ bool Router::has_work() const {
 }
 
 int Router::free_credits(int port) const {
-  if (port == topo_.local_port()) return kInfiniteCredits;
+  if (port == local_) return kInfiniteCredits;
   int total = 0;
   for (int v = 0; v < vcount_; ++v) total += outputs_[vc_index(port, v)].credits;
   return total;
@@ -305,7 +286,7 @@ void Router::send_flit(int in_port, int in_vc_idx) {
   f.vc = static_cast<std::int16_t>(ivc.out_vc);
   f.dateline = ivc.next_dateline;
 
-  const bool ejecting = (out == topo_.local_port());
+  const bool ejecting = (out == local_);
   if (!ejecting) {
     --ovc.credits;
     ++stat_link_;
@@ -325,7 +306,7 @@ void Router::send_flit(int in_port, int in_vc_idx) {
 
   // Return a credit upstream for the slot we just freed (links only; the
   // local injection path reads buffer occupancy directly).
-  if (in_port != topo_.local_port()) {
+  if (in_port != local_) {
     out_->credit(id_, in_port, in_vc_idx);
   }
 }
@@ -401,12 +382,12 @@ void Router::route_one(int idx) {
   }
   ++stat_rc_;
   if (head.dst == id_) {
-    ivc.out_port = topo_.local_port();
+    ivc.out_port = local_;
     ivc.next_dateline = 0;
     return;
   }
-  const auto candidates = noc::route_ports(
-      topo_, params_.routing, head.src, id_, head.dst);
+  const auto candidates =
+      routes_->route(head.src, id_, head.dst, p == local_ ? -1 : p);
   int chosen = candidates.front();
   if (params_.adaptive && candidates.size() > 1) {
     int best = -1;
@@ -419,10 +400,10 @@ void Router::route_one(int idx) {
     }
   }
   ivc.out_port = chosen;
-  if (is_wrap_link(chosen)) {
+  if (topo_.wrap_link(id_, chosen)) {
     ivc.next_dateline = 1;
-  } else if (p != topo_.local_port() && p < topo_.radix() &&
-             axis_of(p) != axis_of(chosen)) {
+  } else if (p != local_ && p < local_ &&
+             topo_.port_axis(id_, p) != topo_.port_axis(id_, chosen)) {
     ivc.next_dateline = 0;  // dimension change resets the subclass
   } else {
     ivc.next_dateline = head.dateline;
@@ -437,7 +418,7 @@ void Router::phase_injection() {
   // event was ordered against this tick within the cycle — a requirement
   // for the trace-replay fixed-point property.
   if (f.injected_at >= now()) return;
-  const int local = topo_.local_port();
+  const int local = local_;
 
   if (f.is_head) {
     assert(inj_active_msg_ == kInvalidMsg);

@@ -53,6 +53,7 @@
 #include "enoc/flit.hpp"
 #include "enoc/params.hpp"
 #include "noc/message.hpp"
+#include "noc/route_table.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
 #include "sim/component.hpp"
@@ -141,8 +142,13 @@ class FlitRing {
 
 class Router : public Component {
  public:
+  /// `routes` is the network-owned routing table (stable address; rebuilt in
+  /// place on reparameterize). Route computation goes through it, which is a
+  /// transparent dispatch to the stateless functions for the coordinate
+  /// algorithms and a table lookup for kTable.
   Router(Simulator& sim, std::string name, NodeId id,
-         const noc::Topology& topo, const EnocParams& params);
+         const noc::Topology& topo, const noc::RoutingTable& routes,
+         const EnocParams& params);
 
   /// One clock cycle of the pipeline. Side effects (forwards, ejections,
   /// credits) are appended to `out` in emission order; nothing outside this
@@ -224,8 +230,6 @@ class Router : public Component {
   std::pair<int, int> allowed_vcs(noc::MsgClass cls, std::uint8_t dateline) const;
 
   int vnet_of(noc::MsgClass cls) const;
-  bool is_wrap_link(int out_dir) const;
-  static int axis_of(int dir);
 
   /// The fused gather-plus-SA pass: one scan over occupied VCs builds the
   /// per-port SA request vectors (nominating via the input arbiters as each
@@ -240,10 +244,12 @@ class Router : public Component {
   void send_flit(int in_port, int in_vc_idx);
 
   NodeId id_;
-  noc::Topology topo_;
+  noc::Topology topo_;  // cheap copy: the graph tables are shared
+  const noc::RoutingTable* routes_;
   EnocParams params_;
 
   int ports_;    // radix + 1 (local last)
+  int local_;    // local port index (== topo.local_port())
   int vcount_;   // VCs per port
   bool needs_dateline_;
 

@@ -23,10 +23,22 @@ CmpSystem::CmpSystem(Simulator& sim, std::string name, noc::Network& net,
     throw std::invalid_argument(this->name() + ": need one op stream per node");
   }
   if (params_.mc_nodes.empty()) {
-    // Default: the four fabric corners (deduplicated for small fabrics).
-    const int w = topo_.width();
-    const int h = topo_.height();
-    std::vector<NodeId> corners = {0, w - 1, (h - 1) * w, h * w - 1};
+    // Default: the fabric's coordinate-extreme nodes — the four 2D corners
+    // (same values as ever), eight on a 3D lattice — deduplicated for small
+    // fabrics. File fabrics have no lattice corners; the two index extremes
+    // stand in.
+    std::vector<NodeId> corners;
+    if (topo_.kind() == noc::Topology::Kind::kFile) {
+      corners = {0, static_cast<NodeId>(n - 1)};
+    } else {
+      for (const int z : {0, topo_.depth() - 1}) {
+        for (const int y : {0, topo_.height() - 1}) {
+          for (const int x : {0, topo_.width() - 1}) {
+            corners.push_back(topo_.node_at({x, y, z}));
+          }
+        }
+      }
+    }
     std::sort(corners.begin(), corners.end());
     corners.erase(std::unique(corners.begin(), corners.end()), corners.end());
     params_.mc_nodes = corners;

@@ -69,6 +69,30 @@ RoutePorts ring_route(const Topology& topo, NodeId cur, NodeId dst) {
   return out;
 }
 
+// Dimension-ordered x -> y -> z. On mesh3d each dimension has one
+// productive direction; on torus3d the shorter way wins (ties break toward
+// the positive direction, matching torus_dor_route).
+RoutePorts xyz_route(const Topology& topo, NodeId cur, NodeId dst) {
+  const Coord c = topo.coords(cur);
+  const Coord d = topo.coords(dst);
+  const bool wraps = topo.kind() == Topology::Kind::kTorus3D;
+  RoutePorts out;
+  const auto resolve = [&](int cc, int dc, int extent, int pos, int neg) {
+    if (cc == dc) return false;
+    if (wraps) {
+      const int fwd = ((dc - cc) % extent + extent) % extent;
+      out.push_back(fwd <= extent - fwd ? pos : neg);
+    } else {
+      out.push_back(dc > cc ? pos : neg);
+    }
+    return true;
+  };
+  if (resolve(c.x, d.x, topo.width(), kEast, kWest)) return out;
+  if (resolve(c.y, d.y, topo.height(), kSouth, kNorth)) return out;
+  resolve(c.z, d.z, topo.depth(), kUp, kDown);
+  return out;
+}
+
 RoutePorts torus_dor_route(const Topology& topo, NodeId cur, NodeId dst) {
   const Coord c = topo.coords(cur);
   const Coord d = topo.coords(dst);
@@ -102,6 +126,11 @@ RoutePorts route_ports(const Topology& topo, RoutingAlgo algo, NodeId src,
     case RoutingAlgo::kOddEven: out = odd_even_route(topo, src, cur, dst); break;
     case RoutingAlgo::kRingShortest: out = ring_route(topo, cur, dst); break;
     case RoutingAlgo::kTorusDor: out = torus_dor_route(topo, cur, dst); break;
+    case RoutingAlgo::kXyz: out = xyz_route(topo, cur, dst); break;
+    case RoutingAlgo::kTable:
+      throw std::logic_error(
+          "route_ports: table routing needs a RoutingTable (owned by the "
+          "network); the stateless entry point cannot serve it");
   }
   if (out.empty()) {
     throw std::logic_error("route_candidates: no admissible port");
@@ -131,6 +160,10 @@ bool compatible(const Topology& topo, RoutingAlgo algo) {
       return topo.kind() == Kind::kRing;
     case RoutingAlgo::kTorusDor:
       return topo.kind() == Kind::kTorus;
+    case RoutingAlgo::kXyz:
+      return topo.kind() == Kind::kMesh3D || topo.kind() == Kind::kTorus3D;
+    case RoutingAlgo::kTable:
+      return true;  // the escape ordering exists on any connected graph
   }
   return false;
 }
@@ -140,6 +173,10 @@ RoutingAlgo default_algo(const Topology& topo) {
     case Topology::Kind::kMesh: return RoutingAlgo::kXY;
     case Topology::Kind::kTorus: return RoutingAlgo::kTorusDor;
     case Topology::Kind::kRing: return RoutingAlgo::kRingShortest;
+    case Topology::Kind::kMesh3D:
+    case Topology::Kind::kTorus3D:
+      return RoutingAlgo::kXyz;
+    case Topology::Kind::kFile: return RoutingAlgo::kTable;
   }
   return RoutingAlgo::kXY;
 }
@@ -151,6 +188,8 @@ const char* to_string(RoutingAlgo algo) {
     case RoutingAlgo::kOddEven: return "odd-even";
     case RoutingAlgo::kRingShortest: return "ring-shortest";
     case RoutingAlgo::kTorusDor: return "torus-dor";
+    case RoutingAlgo::kXyz: return "xyz";
+    case RoutingAlgo::kTable: return "table";
   }
   return "?";
 }

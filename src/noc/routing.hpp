@@ -8,9 +8,10 @@
 //
 // Deadlock freedom: XY and YX are dimension-ordered (cyclic turn sequences
 // are impossible); odd-even restricts turns per Chiu's odd-even rules (needs
-// the packet's source column, hence the src parameter); torus DOR and ring
-// shortest-path rely on the router's dateline VC discipline (see
-// enoc::Router).
+// the packet's source column, hence the src parameter); torus DOR, XYZ on
+// torus3d and ring shortest-path rely on the router's dateline VC discipline
+// (see enoc::Router). Table routing (kTable) is up*/down* escape-ordered —
+// see noc/route_table.hpp for the tables and the deadlock argument.
 #pragma once
 
 #include <array>
@@ -20,7 +21,20 @@
 
 namespace sctm::noc {
 
-enum class RoutingAlgo { kXY, kYX, kOddEven, kRingShortest, kTorusDor };
+enum class RoutingAlgo {
+  kXY,
+  kYX,
+  kOddEven,
+  kRingShortest,
+  kTorusDor,
+  /// Dimension-ordered x -> y -> z on the 3D kinds (wrap-aware on torus3d,
+  /// shorter way per dimension like kTorusDor).
+  kXyz,
+  /// Up*/down* shortest-path next-hop tables for irregular (file) fabrics.
+  /// Needs a prebuilt RoutingTable; the stateless route_ports() entry point
+  /// rejects it.
+  kTable,
+};
 
 /// Fixed-capacity admissible-port set. Every routing function here is
 /// minimal, so at most two output ports are ever admissible (the two
@@ -40,7 +54,8 @@ struct RoutePorts {
 
 /// Admissible output ports (directional indices; never the local port — the
 /// caller ejects when cur == dst). Empty result is a contract violation and
-/// throws std::logic_error. Allocation-free (datapath hot path).
+/// throws std::logic_error. Allocation-free (datapath hot path). kTable is
+/// rejected here: table routes live in a RoutingTable owned by the network.
 RoutePorts route_ports(const Topology& topo, RoutingAlgo algo, NodeId src,
                        NodeId cur, NodeId dst);
 
@@ -56,7 +71,7 @@ int route_first(const Topology& topo, RoutingAlgo algo, NodeId src, NodeId cur,
 bool compatible(const Topology& topo, RoutingAlgo algo);
 
 /// Default algorithm for a topology (XY on mesh, DOR on torus, shortest on
-/// ring).
+/// ring, XYZ on the 3D kinds, up*/down* tables on file fabrics).
 RoutingAlgo default_algo(const Topology& topo);
 
 const char* to_string(RoutingAlgo algo);

@@ -43,10 +43,26 @@ NodeId pattern_destination(const Topology& topo, TrafficPattern p, NodeId src,
     case TrafficPattern::kUniform:
       return uniform_dest(topo, src, rng);
     case TrafficPattern::kTranspose: {
-      const Coord c = topo.coords(src);
-      // Transpose requires a square fabric; clamp otherwise.
-      const Coord t{c.y % topo.width(), c.x % topo.height()};
-      dst = topo.node_at(t);
+      if (topo.kind() != Topology::Kind::kFile && topo.depth() == 1 &&
+          topo.width() == topo.height()) {
+        // Square 2D fabric: the classic coordinate transpose (legacy path,
+        // outputs pinned by the traffic regression test).
+        const Coord c = topo.coords(src);
+        dst = topo.node_at({c.y, c.x, 0});
+      } else {
+        // Non-square, 3D or irregular: generalized transpose as a node-index
+        // permutation — swap the high and low halves of the index bits. On a
+        // square power-of-two fabric this *is* the coordinate transpose
+        // (index = y<<k | x), and it stays a sensible long-haul permutation
+        // when coordinates don't form a square.
+        const int bits =
+            ((std::bit_width(static_cast<unsigned>(n - 1)) + 1) / 2) * 2;
+        const int half = bits / 2;
+        const unsigned s = static_cast<unsigned>(src);
+        const unsigned lo = s & ((1u << half) - 1u);
+        dst = static_cast<NodeId>(((s >> half) | (lo << half)) %
+                                  static_cast<unsigned>(n));
+      }
       break;
     }
     case TrafficPattern::kBitComplement:
@@ -62,16 +78,27 @@ NodeId pattern_destination(const Topology& topo, TrafficPattern p, NodeId src,
       break;
     }
     case TrafficPattern::kTornado: {
-      const Coord c = topo.coords(src);
-      const Coord t{(c.x + topo.width() / 2) % topo.width(),
-                    (c.y + topo.height() / 2) % topo.height()};
-      dst = topo.node_at(t);
+      if (topo.kind() != Topology::Kind::kFile) {
+        // Half-way shift in every lattice dimension (the 2D formula extended
+        // by z; depth 1 leaves z untouched, so 2D outputs are unchanged).
+        const Coord c = topo.coords(src);
+        dst = topo.node_at({(c.x + topo.width() / 2) % topo.width(),
+                            (c.y + topo.height() / 2) % topo.height(),
+                            (c.z + topo.depth() / 2) % topo.depth()});
+      } else {
+        // Irregular fabrics have no dimensions; shift half-way around the
+        // node-index space.
+        dst = static_cast<NodeId>((src + n / 2) % n);
+      }
       break;
     }
     case TrafficPattern::kNeighbor: {
-      const Coord c = topo.coords(src);
-      const Coord t{(c.x + 1) % topo.width(), c.y};
-      dst = topo.node_at(t);
+      if (topo.kind() != Topology::Kind::kFile) {
+        const Coord c = topo.coords(src);
+        dst = topo.node_at({(c.x + 1) % topo.width(), c.y, c.z});
+      } else {
+        dst = static_cast<NodeId>((src + 1) % n);
+      }
       break;
     }
     case TrafficPattern::kHotspot:

@@ -18,10 +18,9 @@ OnocNetwork::OnocNetwork(Simulator& sim, std::string name,
       stat_ser_(accumulator("serialization")),
       stat_transmissions_(counter("transmissions")) {
   params_.validate();
-  if (topo_.kind() != noc::Topology::Kind::kMesh) {
-    throw std::invalid_argument(this->name() +
-                                ": ONOC tile layout must be a mesh");
-  }
+  // The optical plane keys channels off node ids alone (single-hop
+  // waveguides), so any tile layout with coordinates works: distance and
+  // width only scale the time-of-flight.
   if (params_.arbitration == Arbitration::kTokenRing) {
     tokens_.reserve(static_cast<std::size_t>(topo_.node_count()));
     for (int i = 0; i < topo_.node_count(); ++i) {
@@ -38,8 +37,15 @@ OnocNetwork::OnocNetwork(Simulator& sim, std::string name,
     pool_free_.assign(static_cast<std::size_t>(params_.pool_channels), 0);
   } else {
     receivers_.resize(static_cast<std::size_t>(topo_.node_count()));
+    // The electrical control plane rides the same tile layout; if the
+    // configured ctrl routing doesn't apply there (e.g. the default XY on a
+    // 3D or file fabric), fall back to the topology's default algorithm.
+    enoc::EnocParams ctrl_params = params_.ctrl;
+    if (!noc::compatible(topo_, ctrl_params.routing)) {
+      ctrl_params.routing = noc::default_algo(topo_);
+    }
     ctrl_ = std::make_unique<enoc::EnocNetwork>(
-        sim, this->name() + ".ctrl", topo_, params_.ctrl);
+        sim, this->name() + ".ctrl", topo_, ctrl_params);
     auto up = [this](const noc::Message& m) { on_ctrl_deliver(m); };
     static_assert(noc::Network::DeliverFn::fits_inline<decltype(up)>(),
                   "control-plane callback must stay within the SBO budget");

@@ -39,6 +39,60 @@ TEST(Experiment, NetSpecHonorsMeshAndModuleParams) {
   EXPECT_EQ(spec.onoc.wavelengths, 64);
 }
 
+TEST(Experiment, TopologyFromConfig) {
+  const auto mesh3d = topology_from_config(Config::from_string(
+      "net.topology = mesh3d\nnet.mesh_width = 4\nnet.mesh_height = 4\n"
+      "net.mesh_depth = 2\n"));
+  EXPECT_EQ(mesh3d.kind(), noc::Topology::Kind::kMesh3D);
+  EXPECT_EQ(mesh3d.node_count(), 32);
+
+  const auto torus = topology_from_config(Config::from_string(
+      "net.topology = torus\nnet.mesh_width = 3\nnet.mesh_height = 3\n"));
+  EXPECT_EQ(torus.kind(), noc::Topology::Kind::kTorus);
+
+  const auto ring = topology_from_config(
+      Config::from_string("net.topology = ring\nnet.ring_nodes = 6\n"));
+  EXPECT_EQ(ring.kind(), noc::Topology::Kind::kRing);
+  EXPECT_EQ(ring.node_count(), 6);
+
+  // Defaults preserved: no net.topology key means the legacy 4x4 mesh.
+  const auto legacy = topology_from_config(Config::from_string(""));
+  EXPECT_EQ(legacy, noc::Topology::mesh(4, 4));
+}
+
+TEST(Experiment, TopologyFromConfigErrors) {
+  // Unknown kinds and a missing file key error with the config line.
+  try {
+    (void)topology_from_config(
+        Config::from_string("net.kind = enoc\nnet.topology = klein-bottle\n"));
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(
+      (void)topology_from_config(Config::from_string("net.topology = file\n")),
+      std::runtime_error);
+}
+
+TEST(Experiment, DefaultRoutingFollowsTopology) {
+  // No enoc.routing key: the spec gets the fabric's natural algorithm (and
+  // the hybrid's electrical plane inherits it); legacy mesh still gets XY.
+  const auto spec3d = netspec_from_config(
+      Config::from_string("target.kind = enoc\nnet.topology = torus3d\n"),
+      "target");
+  EXPECT_EQ(spec3d.enoc.routing, noc::RoutingAlgo::kXyz);
+  EXPECT_EQ(spec3d.hybrid.electrical.routing, noc::RoutingAlgo::kXyz);
+  const auto spec2d = netspec_from_config(
+      Config::from_string("target.kind = enoc\n"), "target");
+  EXPECT_EQ(spec2d.enoc.routing, noc::RoutingAlgo::kXY);
+  // An explicit key always wins.
+  const auto explicit_spec = netspec_from_config(
+      Config::from_string("target.kind = enoc\nenoc.routing = yx\n"),
+      "target");
+  EXPECT_EQ(explicit_spec.enoc.routing, noc::RoutingAlgo::kYX);
+}
+
 TEST(Experiment, AppFromConfig) {
   const auto cfg = Config::from_string(
       "app.name = sort\napp.cores = 16\napp.lines_per_core = 8\n"
@@ -100,8 +154,8 @@ TEST(Experiment, ShippedConfigsParse) {
   const auto cut = root.rfind("tests/");
   root = cut == std::string::npos ? std::string() : root.substr(0, cut);
   for (const char* name :
-       {"accuracy_fft_onoc.cfg", "exec_sort_hybrid.cfg",
-        "replay_lu_swmr.cfg"}) {
+       {"accuracy_fft_onoc.cfg", "exec_sort_hybrid.cfg", "replay_lu_swmr.cfg",
+        "exec_jacobi_mesh3d.cfg", "replay_fft_file_topo.cfg"}) {
     const std::string path = root + "configs/" + name;
     SCOPED_TRACE(path);
     Config cfg;
@@ -110,6 +164,11 @@ TEST(Experiment, ShippedConfigsParse) {
     } catch (const std::exception&) {
       // Neither resolution found the file; tolerate exotic build layouts.
       continue;
+    }
+    // Shipped configs reference topology files repo-root relative; anchor
+    // them to the same root the config was found under.
+    if (cfg.contains("net.topology.file")) {
+      cfg.set("net.topology.file", root + cfg.get_string("net.topology.file"));
     }
     // Parses clean through the strict vocabulary checks (duplicate keys and
     // unknown fault.* keys hard-error in from_string/from_config) and runs.

@@ -13,12 +13,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "core/driver.hpp"
 #include "enoc/enoc_network.hpp"
+#include "noc/routing.hpp"
 
 namespace sctm::core {
 namespace {
@@ -68,17 +71,21 @@ struct MatrixRun {
   std::string stats_report;
 };
 
-MatrixRun run_with_threads(NetKind kind, unsigned threads) {
-  const ReplayTrace& rt = shared_rt();
+MatrixRun run_spec_with_threads(const ReplayTrace& rt, const NetSpec& spec,
+                                unsigned threads) {
   ReplayConfig cfg;
   cfg.threads = threads;
-  ReplaySession session(rt, spec_of(kind), cfg);
+  ReplaySession session(rt, spec, cfg);
   session.set_parallel_grains_for_test(0);  // shard every phase, every cycle
   session.run();
   MatrixRun out;
   out.stats_report = session.result().stats.report();
   out.result = session.take_result();
   return out;
+}
+
+MatrixRun run_with_threads(NetKind kind, unsigned threads) {
+  return run_spec_with_threads(shared_rt(), spec_of(kind), threads);
 }
 
 class ParallelReplayMatrix : public ::testing::TestWithParam<NetKind> {};
@@ -100,6 +107,99 @@ TEST_P(ParallelReplayMatrix, AnyThreadCountIsBitIdenticalToSerial) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, ParallelReplayMatrix,
+                         ::testing::ValuesIn(kAllKinds), [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Topology determinism matrix ------------------------------------------
+
+// The graph-backed fabrics go through the same guarantee: every network
+// kind, on a 3D lattice and on a file-defined irregular fabric, replays
+// bit-identically at any worker thread count. Traces are captured per
+// topology (the replay engine requires the trace's core count to match the
+// fabric), with the fabric's natural routing algorithm.
+NetSpec spec_on(NetKind kind, const noc::Topology& topo) {
+  NetSpec s;
+  s.kind = kind;
+  s.topo = topo;
+  s.enoc.routing = noc::default_algo(topo);
+  s.hybrid.electrical.routing = s.enoc.routing;
+  return s;
+}
+
+const ReplayTrace& trace_on(const noc::Topology& topo) {
+  static std::map<std::string, std::unique_ptr<ReplayTrace>> cache;
+  auto& slot = cache[topo.describe()];
+  if (!slot) {
+    fullsys::AppParams app = small_app("jacobi");
+    app.cores = topo.node_count();
+    slot = std::make_unique<ReplayTrace>(
+        run_execution(app, spec_on(NetKind::kEnoc, topo), small_sys()).trace);
+  }
+  return *slot;
+}
+
+/// The shipped 12-node dragonfly-style fabric, located from this source
+/// file's absolute path (same idiom as ShippedConfigsParse).
+const noc::Topology* shipped_file_topology() {
+  static const std::unique_ptr<noc::Topology> topo = [] {
+    std::string root = __FILE__;
+    const auto cut = root.rfind("tests/");
+    if (cut == std::string::npos) return std::unique_ptr<noc::Topology>();
+    try {
+      return std::make_unique<noc::Topology>(
+          noc::Topology::from_file(root.substr(0, cut) +
+                                   "configs/group12.topo"));
+    } catch (const std::exception&) {
+      return std::unique_ptr<noc::Topology>();
+    }
+  }();
+  return topo.get();
+}
+
+class TopologyReplayMatrix : public ::testing::TestWithParam<NetKind> {};
+
+TEST_P(TopologyReplayMatrix, Mesh3DIsBitIdenticalAtAnyThreadCount) {
+  const NetSpec spec = spec_on(GetParam(), noc::Topology::mesh3d(4, 4, 2));
+  const ReplayTrace& rt = trace_on(spec.topo);
+  const MatrixRun serial = run_spec_with_threads(rt, spec, /*threads=*/1);
+  ASSERT_FALSE(serial.result.arrive_time.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    const MatrixRun par = run_spec_with_threads(rt, spec, threads);
+    const std::string what = "threads=" + std::to_string(threads);
+    EXPECT_EQ(par.result.inject_time, serial.result.inject_time) << what;
+    EXPECT_EQ(par.result.arrive_time, serial.result.arrive_time) << what;
+    EXPECT_EQ(par.result.runtime, serial.result.runtime) << what;
+    EXPECT_EQ(par.result.events, serial.result.events) << what;
+    EXPECT_EQ(par.result.iterations, serial.result.iterations) << what;
+    EXPECT_EQ(par.stats_report, serial.stats_report) << what;
+  }
+}
+
+TEST_P(TopologyReplayMatrix, FileFabricIsBitIdenticalAtAnyThreadCount) {
+  const noc::Topology* topo = shipped_file_topology();
+  if (topo == nullptr) GTEST_SKIP() << "configs/group12.topo not reachable";
+  const NetSpec spec = spec_on(GetParam(), *topo);
+  const ReplayTrace& rt = trace_on(spec.topo);
+  const MatrixRun serial = run_spec_with_threads(rt, spec, /*threads=*/1);
+  ASSERT_FALSE(serial.result.arrive_time.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    const MatrixRun par = run_spec_with_threads(rt, spec, threads);
+    const std::string what = "threads=" + std::to_string(threads);
+    EXPECT_EQ(par.result.inject_time, serial.result.inject_time) << what;
+    EXPECT_EQ(par.result.arrive_time, serial.result.arrive_time) << what;
+    EXPECT_EQ(par.result.runtime, serial.result.runtime) << what;
+    EXPECT_EQ(par.result.events, serial.result.events) << what;
+    EXPECT_EQ(par.result.iterations, serial.result.iterations) << what;
+    EXPECT_EQ(par.stats_report, serial.stats_report) << what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyReplayMatrix,
                          ::testing::ValuesIn(kAllKinds), [](const auto& info) {
                            std::string name = to_string(info.param);
                            for (char& c : name) {

@@ -88,12 +88,223 @@ TEST(Topology, MeanDistanceMatchesClosedFormForRing) {
 TEST(Topology, InvalidArgumentsThrow) {
   EXPECT_THROW(Topology::mesh(0, 3), std::invalid_argument);
   EXPECT_THROW(Topology::ring(1), std::invalid_argument);
+  EXPECT_THROW(Topology::mesh3d(0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(Topology::torus3d(2, 2, 0), std::invalid_argument);
 }
 
 TEST(Topology, DescribeMentionsShape) {
   EXPECT_NE(Topology::mesh(2, 2).describe().find("mesh"), std::string::npos);
   EXPECT_NE(Topology::torus(2, 2).describe().find("torus"), std::string::npos);
   EXPECT_NE(Topology::ring(4).describe().find("ring"), std::string::npos);
+  EXPECT_NE(Topology::mesh3d(2, 2, 2).describe().find("mesh3d"),
+            std::string::npos);
+  EXPECT_NE(Topology::torus3d(2, 2, 2).describe().find("torus3d"),
+            std::string::npos);
+}
+
+TEST(Topology, Mesh3DBasics) {
+  const auto t = Topology::mesh3d(4, 3, 2);
+  EXPECT_EQ(t.node_count(), 24);
+  EXPECT_EQ(t.radix(), 6);
+  EXPECT_EQ(t.local_port(), 6);
+  EXPECT_EQ(t.port_count(), 7);
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(t.node_at(t.coords(n)), n);
+  }
+  // Node (1,1,0) = 5: z-neighbor one layer up is node 5 + 12.
+  EXPECT_EQ(t.neighbor(5, kUp), 17);
+  EXPECT_EQ(t.neighbor(5, kDown), kInvalidNode);  // z = 0 boundary
+  EXPECT_EQ(t.neighbor(17, kDown), 5);
+  EXPECT_EQ(t.neighbor(17, kUp), kInvalidNode);   // z = 1 boundary
+  EXPECT_EQ(Topology::opposite(kUp), kDown);
+  EXPECT_EQ(Topology::opposite(kDown), kUp);
+}
+
+TEST(Topology, Mesh3DDistanceIsManhattan) {
+  const auto t = Topology::mesh3d(4, 4, 4);
+  // (0,0,0) -> (3,3,3).
+  EXPECT_EQ(t.distance(0, t.node_count() - 1), 9);
+  EXPECT_EQ(t.distance(0, 16), 1);  // one layer up
+}
+
+TEST(Topology, Torus3DWrapsInAllDimensions) {
+  const auto t = Topology::torus3d(3, 3, 3);
+  EXPECT_EQ(t.neighbor(0, kWest), 2);
+  EXPECT_EQ(t.neighbor(0, kNorth), 6);
+  EXPECT_EQ(t.neighbor(0, kDown), 18);  // z wraps 0 -> 2
+  EXPECT_EQ(t.neighbor(18, kUp), 0);
+  EXPECT_EQ(t.distance(0, 18), 1);
+  EXPECT_TRUE(t.has_wrap_links());
+  EXPECT_FALSE(Topology::mesh3d(3, 3, 3).has_wrap_links());
+}
+
+TEST(Topology, WrapLinkFlagsMarkTheSeam) {
+  const auto t = Topology::torus3d(3, 3, 2);
+  EXPECT_TRUE(t.wrap_link(2, kEast));    // x = 2 -> 0 crosses the seam
+  EXPECT_FALSE(t.wrap_link(1, kEast));
+  EXPECT_TRUE(t.wrap_link(0, kWest));
+  // depth 2: both z hops cross the (single) seam in one direction pair.
+  const auto m = Topology::mesh3d(3, 3, 2);
+  for (NodeId n = 0; n < m.node_count(); ++n) {
+    for (int d = 0; d < m.radix(); ++d) EXPECT_FALSE(m.wrap_link(n, d));
+  }
+}
+
+TEST(Topology, ArrivalPortIsOppositeOnLattices) {
+  for (const auto& t : {Topology::mesh(3, 4), Topology::torus(3, 3),
+                        Topology::mesh3d(2, 3, 2), Topology::torus3d(2, 2, 2)}) {
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+      for (int d = 0; d < t.radix(); ++d) {
+        if (t.neighbor(n, d) == kInvalidNode) continue;
+        EXPECT_EQ(t.arrival_port(n, d), Topology::opposite(d));
+      }
+    }
+  }
+  // Ring: leaving clockwise arrives on the counter-clockwise port.
+  const auto r = Topology::ring(5);
+  EXPECT_EQ(r.arrival_port(0, kRingCw), kRingCcw);
+  EXPECT_EQ(r.arrival_port(0, kRingCcw), kRingCw);
+}
+
+TEST(Topology, PortAxes) {
+  const auto t = Topology::mesh3d(2, 2, 2);
+  EXPECT_EQ(t.port_axis(0, kEast), 0);
+  EXPECT_EQ(t.port_axis(7, kWest), 0);
+  EXPECT_EQ(t.port_axis(0, kSouth), 1);
+  EXPECT_EQ(t.port_axis(0, kUp), 2);
+  const auto r = Topology::ring(4);
+  EXPECT_EQ(r.port_axis(0, kRingCw), 0);
+  EXPECT_EQ(r.port_axis(0, kRingCcw), 0);
+}
+
+// Closed-form mean distances (over ordered src != dst pairs): per-dimension
+// mean absolute difference is (k^2-1)/(3k) on a line and
+// floor(k^2/4)/k on a cycle; the BFS-based mean_distance() must agree.
+double line_term(int k) {
+  const double kk = k;
+  return (kk * kk - 1.0) / (3.0 * kk);
+}
+double cycle_term(int k) {
+  return static_cast<double>((k * k) / 4) / static_cast<double>(k);
+}
+double pairs_mean(double sum_all_ordered, int n) {
+  // sum over ordered pairs incl. self (self adds 0) -> mean over src != dst.
+  return sum_all_ordered * n / (static_cast<double>(n) * (n - 1.0));
+}
+
+TEST(Topology, MeanDistanceMatchesClosedForm) {
+  {
+    const auto t = Topology::mesh(4, 3);
+    const int n = t.node_count();
+    EXPECT_NEAR(t.mean_distance(),
+                pairs_mean((line_term(4) + line_term(3)) * n, n), 1e-9);
+  }
+  {
+    const auto t = Topology::torus(4, 4);
+    const int n = t.node_count();
+    EXPECT_NEAR(t.mean_distance(),
+                pairs_mean((cycle_term(4) + cycle_term(4)) * n, n), 1e-9);
+  }
+  {
+    const auto t = Topology::torus(5, 3);
+    const int n = t.node_count();
+    EXPECT_NEAR(t.mean_distance(),
+                pairs_mean((cycle_term(5) + cycle_term(3)) * n, n), 1e-9);
+  }
+  {
+    const auto t = Topology::ring(7);
+    EXPECT_NEAR(t.mean_distance(), pairs_mean(cycle_term(7) * 7, 7), 1e-9);
+  }
+  {
+    const auto t = Topology::mesh3d(3, 2, 4);
+    const int n = t.node_count();
+    EXPECT_NEAR(
+        t.mean_distance(),
+        pairs_mean((line_term(3) + line_term(2) + line_term(4)) * n, n), 1e-9);
+  }
+}
+
+TEST(Topology, DiameterAndLinkCount) {
+  EXPECT_EQ(Topology::mesh(4, 4).diameter(), 6);
+  EXPECT_EQ(Topology::torus(4, 4).diameter(), 4);
+  EXPECT_EQ(Topology::ring(8).diameter(), 4);
+  EXPECT_EQ(Topology::mesh3d(4, 4, 2).diameter(), 7);
+  // mesh 4x4: 2 * 4 * 3 = 24 edges -> 48 directed links.
+  EXPECT_EQ(Topology::mesh(4, 4).link_count(), 48);
+  EXPECT_EQ(Topology::ring(6).link_count(), 12);
+}
+
+// ---------------------------------------------------------------------------
+// File-defined fabrics.
+
+constexpr const char* kDiamond =
+    "# 4-node diamond with a chord\n"
+    "nodes 4\n"
+    "edge 0 1\n"
+    "edge 0 2\n"
+    "edge 1 3\n"
+    "edge 2 3\n"
+    "edge 1 2\n"
+    "coord 0 0 0\n"
+    "coord 1 1 0\n"
+    "coord 2 0 1\n"
+    "coord 3 1 1\n";
+
+TEST(Topology, FromTextBuildsAdjacency) {
+  const auto t = Topology::from_text(kDiamond, "diamond");
+  EXPECT_EQ(t.kind(), Topology::Kind::kFile);
+  EXPECT_EQ(t.node_count(), 4);
+  EXPECT_EQ(t.link_count(), 10);  // 5 undirected edges
+  EXPECT_EQ(t.radix(), 3);        // max degree (nodes 1 and 2)
+  EXPECT_EQ(t.radix(1), 3);
+  EXPECT_EQ(t.radix(0), 2);
+  // Ports follow edge declaration order: node 0's port 0 is the 0-1 edge.
+  EXPECT_EQ(t.neighbor(0, 0), 1);
+  EXPECT_EQ(t.neighbor(0, 1), 2);
+  EXPECT_EQ(t.neighbor(0, 2), kInvalidNode);  // hole past the degree
+  // Symmetric arrival ports: the 0-1 edge is node 1's port 0 too.
+  EXPECT_EQ(t.arrival_port(0, 0), 0);
+  EXPECT_EQ(t.neighbor(1, t.arrival_port(0, 0)), 0);
+  EXPECT_FALSE(t.has_wrap_links());
+  EXPECT_EQ(t.distance(0, 3), 2);
+  EXPECT_EQ(t.coords(3), (Coord{1, 1, 0}));
+  EXPECT_EQ(t.node_at({1, 0, 0}), 1);
+}
+
+TEST(Topology, FromTextDefaultCoordsAndEquality) {
+  const auto a = Topology::from_text("nodes 3\nedge 0 1\nedge 1 2\n");
+  EXPECT_EQ(a.coords(2).x, 2);  // default placement: x = node id
+  const auto b = Topology::from_text("nodes 3\nedge 0 1\nedge 1 2\n");
+  EXPECT_EQ(a, b);  // structural equality
+  const auto c = Topology::from_text("nodes 3\nedge 1 2\nedge 0 1\n");
+  EXPECT_FALSE(a == c);  // different port order is a different fabric
+  EXPECT_FALSE(a == Topology::mesh(3, 1));
+}
+
+TEST(Topology, FromTextErrorsAreLineAnchored) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    try {
+      (void)Topology::from_text(text, "bad.topo");
+      ADD_FAILURE() << "no throw for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("nodes 2\nfrobnicate 1\n", "bad.topo:2");
+  expect_error("nodes 2\nfrobnicate 1\n", "known: nodes, edge, coord");
+  expect_error("edge 0 1\n", "bad.topo:1");            // edge before nodes
+  expect_error("nodes 2\nedge 0 2\n", "bad.topo:2");   // node out of range
+  expect_error("nodes 2\nedge 0 0\n", "bad.topo:2");   // self edge
+  expect_error("nodes 2\nedge 0 1\nedge 1 0\n", "bad.topo:3");  // duplicate
+  expect_error("nodes 3\nedge 0 1\n", "");             // disconnected
+  expect_error("nodes 2\n", "");                       // no edges at all
+  expect_error("nodes 0\n", "bad.topo:1");
+}
+
+TEST(Topology, FromFileMissingPathThrows) {
+  EXPECT_THROW(Topology::from_file("/nonexistent/fabric.topo"),
+               std::runtime_error);
 }
 
 }  // namespace

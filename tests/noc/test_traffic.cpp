@@ -102,6 +102,88 @@ TEST(Patterns, UniformSpreadsTraffic) {
   }
 }
 
+TEST(Patterns, Legacy2DDestinationsPinned) {
+  // Full destination map of every deterministic pattern on the legacy 4x4
+  // mesh, hardcoded. The graph-backed topology refactor must not move a
+  // single destination on the 2D kinds; -1 marks sources where the pattern
+  // self-maps and falls back to a uniform draw.
+  const auto t = Topology::mesh(4, 4);
+  const struct {
+    TrafficPattern pattern;
+    int expect[16];
+  } pinned[] = {
+      {TrafficPattern::kTranspose,
+       {-1, 4, 8, 12, 1, -1, 9, 13, 2, 6, -1, 14, 3, 7, 11, -1}},
+      {TrafficPattern::kTornado,
+       {10, 11, 8, 9, 14, 15, 12, 13, 2, 3, 0, 1, 6, 7, 4, 5}},
+      {TrafficPattern::kNeighbor,
+       {1, 2, 3, 0, 5, 6, 7, 4, 9, 10, 11, 8, 13, 14, 15, 12}},
+      {TrafficPattern::kBitComplement,
+       {15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}},
+  };
+  for (const auto& p : pinned) {
+    Rng rng(1);
+    for (NodeId s = 0; s < 16; ++s) {
+      if (p.expect[s] < 0) continue;
+      EXPECT_EQ(pattern_destination(t, p.pattern, s, rng),
+                static_cast<NodeId>(p.expect[s]))
+          << to_string(p.pattern) << " src " << s;
+    }
+  }
+}
+
+TEST(Patterns, ValidOnEveryFabricShape) {
+  // The patterns generalize to non-square, 3D and irregular fabrics: always
+  // a valid node, never the source, on every shape.
+  const Topology shapes[] = {
+      Topology::mesh(5, 3),
+      Topology::torus(4, 2),
+      Topology::ring(7),
+      Topology::mesh3d(3, 2, 4),
+      Topology::torus3d(4, 4, 2),
+      Topology::from_text(
+          "nodes 5\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 0\n"
+          "edge 1 3\n",
+          "pentagon"),
+  };
+  Rng rng(9);
+  for (const auto& t : shapes) {
+    SCOPED_TRACE(t.describe());
+    for (const auto p :
+         {TrafficPattern::kUniform, TrafficPattern::kTranspose,
+          TrafficPattern::kBitComplement, TrafficPattern::kBitReverse,
+          TrafficPattern::kTornado, TrafficPattern::kNeighbor,
+          TrafficPattern::kHotspot, TrafficPattern::kShuffle,
+          TrafficPattern::kBitRotate}) {
+      for (NodeId s = 0; s < t.node_count(); ++s) {
+        for (int i = 0; i < 4; ++i) {
+          const NodeId d = pattern_destination(t, p, s, rng);
+          EXPECT_NE(d, s) << to_string(p) << " src " << s;
+          EXPECT_TRUE(t.valid_node(d)) << to_string(p) << " src " << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(Patterns, TornadoShiftsHalfwayInEveryLatticeDimension) {
+  // mesh3d(4,4,2): (0,0,0) -> (2,2,1) = 2 + 2*4 + 1*16 = 26.
+  const auto t = Topology::mesh3d(4, 4, 2);
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kTornado, 0, rng), 26);
+  // Irregular fabrics shift half-way around the index space: 5 nodes, 1+2=3.
+  const auto f = Topology::from_text(
+      "nodes 5\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 0\n");
+  EXPECT_EQ(pattern_destination(f, TrafficPattern::kTornado, 1, rng), 3);
+}
+
+TEST(Patterns, NeighborWrapsWithinARowOnLattices) {
+  const auto t = Topology::mesh3d(3, 2, 2);
+  Rng rng(1);
+  // (2,1,1) = node 11 -> (0,1,1) = node 9.
+  EXPECT_EQ(pattern_destination(t, TrafficPattern::kNeighbor, 11, rng), 9);
+}
+
 TEST(TrafficGenerator, RejectsBadRate) {
   Simulator sim;
   const auto t = Topology::mesh(2, 2);

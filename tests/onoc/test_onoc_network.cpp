@@ -35,10 +35,17 @@ OnocParams setup_params() {
   return p;
 }
 
-TEST(OnocNetwork, RequiresMeshLayout) {
+TEST(OnocNetwork, ChannelsKeyOffNodeCountNotLayout) {
+  // The crossbar is keyed by node id, so any topology kind works as the tile
+  // layout — here a ring, which the pre-graph implementation rejected.
   Simulator sim;
-  EXPECT_THROW(OnocNetwork(sim, "onoc", Topology::ring(8), token_params()),
-               std::invalid_argument);
+  OnocNetwork net(sim, "onoc", Topology::ring(8), token_params());
+  std::vector<Message> got;
+  net.set_deliver_callback([&](const Message& m) { got.push_back(m); });
+  net.inject(make_msg(1, 0, 5, 64));
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].dst, 5);
 }
 
 TEST(OnocNetwork, TokenModeDeliversSingleMessage) {
